@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark target regenerates one table/figure of the paper at a reduced
+instruction budget (so the whole suite completes in minutes) and attaches the
+reproduced headline numbers to pytest-benchmark's ``extra_info`` so they
+appear in the benchmark report.  ``examples/reproduce_paper.py`` runs the
+same drivers at larger budgets; EXPERIMENTS.md records those results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+#: Diverse single-threaded subset used where running all 26 SPEC stand-ins
+#: would make the benchmark suite too slow.
+SPEC_SUBSET = ["gcc", "mcf", "twolf", "art", "swim", "eon", "vpr", "equake"]
+
+#: Diverse multi-threaded subset (scaling behaviour from good to poor).
+PARSEC_SUBSET = ["blackscholes", "canneal", "fluidanimate", "vips", "swaptions"]
+
+
+@pytest.fixture
+def spec_config() -> ExperimentConfig:
+    """Reduced-budget configuration for single-threaded SPEC experiments."""
+    return ExperimentConfig(
+        instructions=20_000, warmup_instructions=10_000, benchmarks=SPEC_SUBSET
+    )
+
+
+@pytest.fixture
+def parsec_config() -> ExperimentConfig:
+    """Reduced-budget configuration for multi-threaded PARSEC experiments."""
+    return ExperimentConfig(
+        instructions=24_000, warmup_instructions=12_000, benchmarks=PARSEC_SUBSET
+    )

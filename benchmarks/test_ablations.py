@@ -1,0 +1,43 @@
+"""Benchmarks: ablations of the interval model's design choices.
+
+These quantify the paper's stated contributions: the old-window approach
+(contribution iii) and the modeling of overlapped miss events underneath
+long-latency loads (contribution i).  Disabling either mechanism should make
+the interval model *less* accurate with respect to the detailed reference.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_old_window_ablation,
+    run_overlap_ablation,
+)
+
+
+def test_ablation_old_window(benchmark):
+    config = ExperimentConfig(
+        instructions=20_000,
+        warmup_instructions=10_000,
+        benchmarks=["gcc", "eon", "vpr", "twolf", "crafty", "gzip"],
+    )
+    result = benchmark.pedantic(lambda: run_old_window_ablation(config), rounds=1, iterations=1)
+    benchmark.extra_info["full_model_avg_error_percent"] = round(result.average_full_error, 2)
+    benchmark.extra_info["ablated_avg_error_percent"] = round(result.average_ablated_error, 2)
+    # Without the old-window estimates the model reverts to dispatching at
+    # the designed width with no branch-resolution estimate — clearly worse.
+    assert result.average_ablated_error > result.average_full_error
+
+
+def test_ablation_overlap_modeling(benchmark):
+    config = ExperimentConfig(
+        instructions=20_000,
+        warmup_instructions=10_000,
+        benchmarks=["mcf", "art", "swim", "equake", "lucas"],
+    )
+    result = benchmark.pedantic(lambda: run_overlap_ablation(config), rounds=1, iterations=1)
+    benchmark.extra_info["full_model_avg_error_percent"] = round(result.average_full_error, 2)
+    benchmark.extra_info["ablated_avg_error_percent"] = round(result.average_ablated_error, 2)
+    # Charging every long-latency load in full (no MLP) overestimates memory
+    # stalls on memory-intensive workloads.
+    assert result.average_ablated_error > result.average_full_error

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 10 — simulation speedup on multi-threaded PARSEC workloads.
+
+Paper result: a factor 8–9x speedup of interval over detailed simulation for
+the multi-threaded workloads.  As with Figure 9, the pure-Python reproduction
+compresses the ratio; the target is interval > detailed speed at every core
+count (see EXPERIMENTS.md for measured values).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentConfig, run_figure10_parsec_speedup
+
+
+def test_figure10_parsec_simulation_speedup(benchmark):
+    config = ExperimentConfig(
+        instructions=16_000,
+        warmup_instructions=8_000,
+        benchmarks=["blackscholes", "canneal", "vips"],
+    )
+    result = benchmark.pedantic(
+        lambda: run_figure10_parsec_speedup(config, core_counts=(1, 2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["average_speedup"] = round(result.average_speedup, 2)
+    benchmark.extra_info["points"] = len(result.points)
+
+    assert result.average_speedup > 1.0
+    # Throughput sanity: both simulators actually simulated instructions.
+    for point in result.points:
+        assert point.interval_kips > 0
+        assert point.detailed_kips > 0

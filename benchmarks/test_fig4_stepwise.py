@@ -1,0 +1,33 @@
+"""Benchmark: Figure 4 — step-by-step accuracy of the interval model.
+
+Regenerates the four idealization sub-experiments (effective dispatch rate,
+I-cache/TLB, branch prediction, L2 cache) and reports the interval-vs-detailed
+IPC error for each, as in Figure 4 of the paper (paper: 1.8%, 1.8%, 3.8% and
+4.6% average error respectively).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_sub_experiment
+from repro.experiments.figure4 import SUB_EXPERIMENTS
+from repro.common.metrics import summarize_errors
+
+
+@pytest.mark.parametrize("sub_experiment", list(SUB_EXPERIMENTS))
+def test_figure4_sub_experiment(benchmark, spec_config, sub_experiment):
+    def run():
+        return run_sub_experiment(sub_experiment, spec_config)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = summarize_errors(
+        {r.name: r.interval_ipc for r in results},
+        {r.name: r.detailed_ipc for r in results},
+    )
+    benchmark.extra_info["sub_experiment"] = sub_experiment
+    benchmark.extra_info["avg_ipc_error_percent"] = round(summary.average, 2)
+    benchmark.extra_info["max_ipc_error_percent"] = round(summary.maximum, 2)
+    # Sanity: the reproduced accuracy stays in a sane band (the paper reports
+    # 1.8%-4.6% on 100M-instruction SimPoints; reduced budgets are noisier).
+    assert summary.average < 35.0

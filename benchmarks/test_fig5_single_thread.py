@@ -1,0 +1,25 @@
+"""Benchmark: Figure 5 — single-threaded accuracy with all structures modeled.
+
+Paper result: 5.9% average IPC error, 15.5% maximum, across SPEC CPU2000.
+"""
+
+from __future__ import annotations
+
+
+from repro.experiments import run_figure5
+
+
+def test_figure5_single_threaded_accuracy(benchmark, spec_config):
+    result = benchmark.pedantic(
+        lambda: run_figure5(spec_config), rounds=1, iterations=1
+    )
+    summary = result.error_summary
+    benchmark.extra_info["avg_ipc_error_percent"] = round(summary.average, 2)
+    benchmark.extra_info["max_ipc_error_percent"] = round(summary.maximum, 2)
+    benchmark.extra_info["benchmarks"] = len(result.results)
+    # The reproduction target is single-digit-to-teens average error.
+    assert summary.average < 25.0
+    # Every benchmark produced a sensible IPC under both simulators.
+    for comparison in result.results:
+        assert 0.0 < comparison.interval_ipc <= 4.0
+        assert 0.0 < comparison.detailed_ipc <= 4.0

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 6 — multi-program STP and ANTT versus core count.
+
+Paper result: 3.8% average STP error and 4.2% average ANTT error (max 16%),
+with interval simulation tracking the throughput/turnaround trends of shared
+L2 and memory-bandwidth contention.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentConfig, run_figure6
+
+
+def test_figure6_multiprogram_stp_antt(benchmark):
+    config = ExperimentConfig(
+        instructions=16_000, warmup_instructions=8_000, benchmarks=["gcc", "mcf"]
+    )
+    result = benchmark.pedantic(
+        lambda: run_figure6(config, copy_counts=(1, 2, 4)), rounds=1, iterations=1
+    )
+    benchmark.extra_info["avg_stp_error_percent"] = round(result.average_stp_error, 2)
+    benchmark.extra_info["avg_antt_error_percent"] = round(result.average_antt_error, 2)
+
+    assert result.average_stp_error < 30.0
+    assert result.average_antt_error < 30.0
+    for point in result.points:
+        # STP is essentially bounded by the number of co-running programs
+        # (small tolerance for second-order interleaving effects); ANTT >= ~1.
+        assert 0.0 < point.interval_stp <= point.copies * 1.05
+        assert point.interval_antt >= 0.95
+    # Trend check: the memory-bound workload (mcf) loses more throughput per
+    # copy than the compute-bound one (gcc) as the copy count grows.
+    gcc4 = [p for p in result.points if p.benchmark == "gcc" and p.copies == 4][0]
+    mcf4 = [p for p in result.points if p.benchmark == "mcf" and p.copies == 4][0]
+    assert mcf4.interval_stp / 4 <= gcc4.interval_stp / 4 + 0.05

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 8 — the 3D-stacked-DRAM design trade-off case study.
+
+Paper result: interval simulation reaches the same design decision as
+detailed simulation for every benchmark (cache-sensitive workloads prefer the
+dual-core + L2 design; compute/bandwidth-hungry ones prefer the quad-core +
+3D-stacked DRAM design).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure8
+
+
+def test_figure8_3d_stacking_case_study(benchmark, parsec_config):
+    result = benchmark.pedantic(lambda: run_figure8(parsec_config), rounds=1, iterations=1)
+    benchmark.extra_info["design_decision_agreement"] = round(result.agreement_rate, 2)
+    benchmark.extra_info["benchmarks"] = len(result.points)
+
+    # The reproduction target for the case study is decision agreement, not
+    # absolute cycle counts: require a clear majority of agreeing decisions.
+    assert result.agreement_rate >= 0.6
+    for point in result.points:
+        assert point.detailed_dualcore_cycles > 0
+        assert point.interval_quadcore_cycles > 0

@@ -1,0 +1,35 @@
+"""Benchmark: Figure 9 — simulation speedup on (multi-programmed) SPEC workloads.
+
+Paper result: interval simulation is up to 15x faster than detailed
+cycle-level simulation for multi-program SPEC workloads.  In this pure-Python
+reproduction both simulators share the same interpreter overheads, so the
+measured ratio is smaller; the reproduction target is the *shape*: interval
+simulation is consistently faster, across core counts (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentConfig, run_figure9_spec_speedup
+
+
+def test_figure9_spec_simulation_speedup(benchmark):
+    config = ExperimentConfig(
+        instructions=12_000,
+        warmup_instructions=6_000,
+        benchmarks=["gcc", "mcf", "swim", "eon"],
+    )
+    result = benchmark.pedantic(
+        lambda: run_figure9_spec_speedup(config, core_counts=(1, 2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["average_speedup"] = round(result.average_speedup, 2)
+    benchmark.extra_info["points"] = len(result.points)
+
+    # Interval simulation must be faster than detailed simulation on average,
+    # and must not collapse as the core count grows.
+    assert result.average_speedup > 1.0
+    for cores in (1, 2, 4):
+        points = result.for_cores(cores)
+        mean = sum(p.speedup for p in points) / len(points)
+        assert mean > 0.8, f"interval simulation unexpectedly slow at {cores} cores"

@@ -1,0 +1,33 @@
+"""Micro-benchmarks: raw simulation throughput of each timing model.
+
+These complement Figures 9/10 by measuring simulator throughput (simulated
+instructions per host second) on a fixed workload, which is the number the
+paper quotes for industry/academic simulators ("tens to hundreds of KIPS").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DetailedSimulator, IntervalSimulator, OneIPCSimulator, default_machine_config
+from repro.trace import single_threaded_workload
+
+
+WORKLOAD_INSTRUCTIONS = 20_000
+
+
+@pytest.mark.parametrize(
+    "simulator_cls", [IntervalSimulator, DetailedSimulator, OneIPCSimulator],
+    ids=["interval", "detailed", "oneipc"],
+)
+def test_simulator_throughput(benchmark, simulator_cls):
+    machine = default_machine_config(1)
+    workload = single_threaded_workload("gcc", instructions=WORKLOAD_INSTRUCTIONS)
+
+    def run():
+        return simulator_cls(machine).run(workload, warmup_instructions=WORKLOAD_INSTRUCTIONS // 2)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_kips"] = round(stats.simulated_kips(), 1)
+    benchmark.extra_info["aggregate_ipc"] = round(stats.aggregate_ipc, 3)
+    assert stats.total_instructions == WORKLOAD_INSTRUCTIONS // 2

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Design-space exploration with interval simulation.
+
+The paper positions interval simulation as a tool for quickly exploring
+high-level micro-architecture trade-offs ("cores versus cache space versus
+memory bandwidth").  This example sweeps exactly that trade-off for a set of
+multi-threaded workloads: for a fixed transistor/power budget it compares
+
+* 2 cores + 4 MB shared L2 + narrow external DRAM bus, and
+* 4 cores + no L2 + wide 3D-stacked DRAM (lower latency, higher bandwidth),
+
+using interval simulation only — the use case where its speed matters — and
+prints which architecture each workload prefers (the Figure-8 study of the
+paper, driven as a user would drive it).
+
+Usage::
+
+    python examples/design_space_exploration.py [total_instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import IntervalSimulator, dualcore_l2_config, quadcore_3d_stacked_config
+from repro.experiments import render_table
+from repro.trace import multithreaded_workload, parsec_benchmark_names
+
+
+def main() -> None:
+    total_instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 48_000
+    warmup = total_instructions // 2
+
+    dualcore = dualcore_l2_config()
+    quadcore = quadcore_3d_stacked_config()
+    print("Architecture A: 2 cores, 4 MB L2, external DRAM (150 cycles, 16 B bus)")
+    print("Architecture B: 4 cores, no L2, 3D-stacked DRAM (125 cycles, 128 B bus)")
+    print()
+
+    rows = []
+    for benchmark in parsec_benchmark_names():
+        workload_a = multithreaded_workload(
+            benchmark, num_threads=dualcore.num_cores, total_instructions=total_instructions
+        )
+        stats_a = IntervalSimulator(dualcore).run(workload_a, warmup_instructions=warmup)
+
+        workload_b = multithreaded_workload(
+            benchmark, num_threads=quadcore.num_cores, total_instructions=total_instructions
+        )
+        stats_b = IntervalSimulator(quadcore).run(workload_b, warmup_instructions=warmup)
+
+        ratio = stats_b.total_cycles / stats_a.total_cycles
+        winner = "B (4 cores + 3D DRAM)" if ratio < 1.0 else "A (2 cores + L2)"
+        rows.append((benchmark, stats_a.total_cycles, stats_b.total_cycles, ratio, winner))
+
+    print(
+        render_table(
+            ["benchmark", "A cycles", "B cycles", "B/A", "preferred design"],
+            rows,
+            title="Interval-simulation design-space exploration (Figure-8 style)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

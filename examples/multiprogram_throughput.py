@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Multi-program throughput study: how many copies should share the chip?
+
+A system architect wants to know how consolidation affects throughput and
+per-job responsiveness when several instances of a job share a chip
+multiprocessor (the Figure-6 scenario).  This example measures, with interval
+simulation, system throughput (STP) and average normalized turnaround time
+(ANTT) as a growing number of copies of a memory-bound job (``mcf``) and a
+compute-bound job (``gcc``) share the 4 MB L2 and the memory bus.
+
+Usage::
+
+    python examples/multiprogram_throughput.py [instructions_per_copy]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import IntervalSimulator, default_machine_config
+from repro.common.metrics import (
+    average_normalized_turnaround_time,
+    system_throughput,
+)
+from repro.experiments import render_table
+from repro.trace import homogeneous_multiprogram_workload, single_threaded_workload
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+    warmup = instructions // 2
+    copy_counts = (1, 2, 4, 8)
+
+    rows = []
+    for benchmark in ("gcc", "mcf"):
+        solo_workload = single_threaded_workload(benchmark, instructions=instructions)
+        solo = IntervalSimulator(default_machine_config(1)).run(
+            solo_workload, warmup_instructions=warmup
+        )
+        solo_cycles = float(solo.cores[0].cycles)
+
+        for copies in copy_counts:
+            machine = default_machine_config(copies)
+            workload = homogeneous_multiprogram_workload(
+                benchmark, copies=copies, instructions=instructions
+            )
+            stats = IntervalSimulator(machine).run(workload, warmup_instructions=warmup)
+            multi_cycles = [float(stats.cores[i].cycles) for i in range(copies)]
+            single_cycles = [solo_cycles] * copies
+            rows.append(
+                (
+                    f"{benchmark} x{copies}",
+                    system_throughput(single_cycles, multi_cycles),
+                    average_normalized_turnaround_time(single_cycles, multi_cycles),
+                    stats.memory_stats["dram_queue_delay"],
+                )
+            )
+
+    print(
+        render_table(
+            ["workload", "STP (higher=better)", "ANTT (lower=better)", "DRAM queue cycles"],
+            rows,
+            title="Consolidation study with interval simulation (Figure-6 style)",
+        )
+    )
+    print()
+    print("Reading the table: gcc keeps scaling (STP grows, ANTT stays near 1),")
+    print("while mcf copies fight for the shared L2 and memory bandwidth, so STP")
+    print("saturates and ANTT climbs as more copies are packed onto the chip.")
+
+
+if __name__ == "__main__":
+    main()

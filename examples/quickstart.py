@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: interval simulation versus detailed simulation on one benchmark.
+
+Runs the same synthetic SPEC-like workload through the interval simulator
+(the paper's contribution) and the detailed cycle-level reference, then
+prints the IPC both report, the interval model's CPI stack, and the
+wall-clock speedup interval simulation achieves.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [instructions]
+
+Defaults to ``gcc`` with 60,000 instructions (half used as cache warm-up).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DetailedSimulator, IntervalSimulator, default_machine_config
+from repro.trace import single_threaded_workload
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    warmup = instructions // 2
+
+    machine = default_machine_config(num_cores=1)
+    print(f"Benchmark: {benchmark}  ({instructions} instructions, {warmup} warm-up)")
+    print(f"Machine:   {machine.num_cores} core(s), ROB={machine.core.rob_entries}, "
+          f"dispatch={machine.core.dispatch_width}-wide, "
+          f"L2={machine.memory.l2.size_bytes // (1024 * 1024)} MB, MOESI, "
+          f"DRAM={machine.memory.dram_latency} cycles")
+    print()
+
+    workload = single_threaded_workload(benchmark, instructions=instructions)
+    interval = IntervalSimulator(machine).run(workload, warmup_instructions=warmup)
+
+    workload = single_threaded_workload(benchmark, instructions=instructions)
+    detailed = DetailedSimulator(machine).run(workload, warmup_instructions=warmup)
+
+    interval_core = interval.cores[0]
+    detailed_core = detailed.cores[0]
+    error = (interval_core.ipc - detailed_core.ipc) / detailed_core.ipc * 100.0
+
+    print(f"{'':24s}{'interval':>12s}{'detailed':>12s}")
+    print(f"{'IPC':24s}{interval_core.ipc:12.3f}{detailed_core.ipc:12.3f}")
+    print(f"{'cycles':24s}{interval_core.cycles:12d}{detailed_core.cycles:12d}")
+    print(f"{'branch mispredictions':24s}{interval_core.branch_mispredictions:12d}"
+          f"{detailed_core.branch_mispredictions:12d}")
+    print(f"{'L1D misses':24s}{interval_core.l1d_misses:12d}{detailed_core.l1d_misses:12d}")
+    print(f"{'long-latency loads':24s}{interval_core.long_latency_loads:12d}"
+          f"{detailed_core.long_latency_loads:12d}")
+    print()
+    print(f"interval-vs-detailed IPC error: {error:+.1f}%")
+    print(f"simulation wall-clock: interval {interval.wall_clock_seconds:.2f}s, "
+          f"detailed {detailed.wall_clock_seconds:.2f}s "
+          f"(speedup {detailed.wall_clock_seconds / interval.wall_clock_seconds:.1f}x)")
+    print()
+    print("Interval-analysis CPI stack (cycles per instruction):")
+    for component, value in interval_core.cpi_stack().items():
+        print(f"  {component:12s} {value:6.3f}")
+
+
+if __name__ == "__main__":
+    main()

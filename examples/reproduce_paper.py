@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Reproduce every figure of the paper's evaluation section.
+
+Runs the experiment drivers for Figures 4–10 plus the two ablation studies
+and prints paper-style result tables.  Three budget presets are available:
+
+* ``--quick``  — small instruction budgets and benchmark subsets (~2 min);
+* ``--medium`` — the default; full benchmark lists with moderate budgets;
+* ``--full``   — larger budgets (slowest, closest to the shapes reported in
+  EXPERIMENTS.md).
+
+Usage::
+
+    python examples/reproduce_paper.py [--quick|--medium|--full] [--figure N]
+
+``--figure`` limits the run to one artifact (4, 5, 6, 7, 8, 9, 10, or
+``ablation``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9_spec_speedup,
+    run_figure10_parsec_speedup,
+    run_old_window_ablation,
+    run_overlap_ablation,
+)
+
+#: A compact but diverse benchmark subset used by the --quick preset and for
+#: the expensive many-core speedup sweeps.
+QUICK_SPEC = ["gcc", "mcf", "twolf", "art", "swim", "eon", "vpr", "equake"]
+QUICK_PARSEC = ["blackscholes", "canneal", "fluidanimate", "vips", "swaptions"]
+
+
+def build_configs(preset: str) -> dict:
+    """Budget presets for every figure driver."""
+    if preset == "quick":
+        return {
+            "fig4": ExperimentConfig(instructions=20_000, warmup_instructions=10_000, benchmarks=QUICK_SPEC),
+            "fig5": ExperimentConfig(instructions=20_000, warmup_instructions=10_000, benchmarks=QUICK_SPEC),
+            "fig6": ExperimentConfig(instructions=16_000, warmup_instructions=8_000, benchmarks=["gcc", "mcf"]),
+            "fig7": ExperimentConfig(instructions=24_000, warmup_instructions=12_000, benchmarks=QUICK_PARSEC),
+            "fig8": ExperimentConfig(instructions=24_000, warmup_instructions=12_000, benchmarks=QUICK_PARSEC),
+            "fig9": ExperimentConfig(instructions=12_000, warmup_instructions=6_000, benchmarks=["gcc", "mcf", "swim"]),
+            "fig10": ExperimentConfig(instructions=16_000, warmup_instructions=8_000, benchmarks=["blackscholes", "vips"]),
+            "ablation": ExperimentConfig(instructions=20_000, warmup_instructions=10_000, benchmarks=QUICK_SPEC),
+        }
+    if preset == "medium":
+        return {
+            "fig4": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
+            "fig5": ExperimentConfig(instructions=60_000, warmup_instructions=30_000),
+            "fig6": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
+            "fig7": ExperimentConfig(instructions=60_000, warmup_instructions=30_000),
+            "fig8": ExperimentConfig(instructions=48_000, warmup_instructions=24_000),
+            "fig9": ExperimentConfig(instructions=24_000, warmup_instructions=12_000, benchmarks=QUICK_SPEC),
+            "fig10": ExperimentConfig(instructions=36_000, warmup_instructions=18_000),
+            "ablation": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
+        }
+    # full
+    return {
+        "fig4": ExperimentConfig(instructions=80_000, warmup_instructions=40_000),
+        "fig5": ExperimentConfig(instructions=120_000, warmup_instructions=60_000),
+        "fig6": ExperimentConfig(instructions=80_000, warmup_instructions=40_000),
+        "fig7": ExperimentConfig(instructions=120_000, warmup_instructions=60_000),
+        "fig8": ExperimentConfig(instructions=96_000, warmup_instructions=48_000),
+        "fig9": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
+        "fig10": ExperimentConfig(instructions=64_000, warmup_instructions=32_000),
+        "ablation": ExperimentConfig(instructions=80_000, warmup_instructions=40_000),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--quick", action="store_const", const="quick", dest="preset")
+    group.add_argument("--medium", action="store_const", const="medium", dest="preset")
+    group.add_argument("--full", action="store_const", const="full", dest="preset")
+    parser.add_argument("--figure", default=None,
+                        help="limit to one artifact: 4, 5, 6, 7, 8, 9, 10 or 'ablation'")
+    parser.set_defaults(preset="medium")
+    args = parser.parse_args()
+
+    configs = build_configs(args.preset)
+    wanted = args.figure
+
+    def selected(figure: str) -> bool:
+        return wanted is None or wanted == figure
+
+    start = time.time()
+    if selected("4"):
+        print(run_figure4(configs["fig4"]).render(), "\n", flush=True)
+    if selected("5"):
+        print(run_figure5(configs["fig5"]).render(), "\n", flush=True)
+    if selected("6"):
+        print(run_figure6(configs["fig6"]).render(), "\n", flush=True)
+    if selected("7"):
+        print(run_figure7(configs["fig7"]).render(), "\n", flush=True)
+    if selected("8"):
+        print(run_figure8(configs["fig8"]).render(), "\n", flush=True)
+    if selected("9"):
+        print(run_figure9_spec_speedup(configs["fig9"]).render(), "\n", flush=True)
+    if selected("10"):
+        print(run_figure10_parsec_speedup(configs["fig10"]).render(), "\n", flush=True)
+    if selected("ablation"):
+        print(run_old_window_ablation(configs["ablation"]).render(), "\n", flush=True)
+        print(run_overlap_ablation(configs["ablation"]).render(), "\n", flush=True)
+    print(f"total reproduction time: {time.time() - start:.0f}s ({args.preset} preset)")
+
+
+if __name__ == "__main__":
+    main()

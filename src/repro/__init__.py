@@ -1,0 +1,59 @@
+"""repro — a reproduction of "Interval Simulation: Raising the Level of
+Abstraction in Architectural Simulation" (Genbrugge, Eyerman, Eeckhout,
+HPCA 2010).
+
+The package provides:
+
+* :class:`~repro.core.interval_sim.IntervalSimulator` — the paper's
+  contribution: a multi-core simulator whose core timing is derived from a
+  mechanistic analytical model (interval analysis) instead of cycle-accurate
+  pipeline simulation;
+* :class:`~repro.detailed.detailed_sim.DetailedSimulator` — a cycle-level
+  out-of-order reference simulator (the role M5 plays in the paper);
+* :class:`~repro.core.oneipc.OneIPCSimulator` — the naive one-IPC baseline;
+* the substrates both share: synthetic workload generation
+  (:mod:`repro.trace`), branch predictors (:mod:`repro.branch`) and the
+  memory hierarchy with MOESI coherence and finite off-chip bandwidth
+  (:mod:`repro.memory`);
+* an experiment harness regenerating every figure of the paper's evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import IntervalSimulator, DetailedSimulator, default_machine_config
+    from repro.trace import single_threaded_workload
+
+    config = default_machine_config(num_cores=1)
+    workload = single_threaded_workload("gcc", instructions=50_000)
+    interval = IntervalSimulator(config).run(workload)
+    detailed = DetailedSimulator(config).run(workload)
+    print(interval.cores[0].ipc, detailed.cores[0].ipc)
+"""
+
+from .common import (
+    CoreStats,
+    MachineConfig,
+    PerfectStructures,
+    SimulationStats,
+    default_machine_config,
+    dualcore_l2_config,
+    quadcore_3d_stacked_config,
+)
+from .core import IntervalSimulator, OneIPCSimulator
+from .detailed import DetailedSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreStats",
+    "MachineConfig",
+    "PerfectStructures",
+    "SimulationStats",
+    "default_machine_config",
+    "dualcore_l2_config",
+    "quadcore_3d_stacked_config",
+    "IntervalSimulator",
+    "OneIPCSimulator",
+    "DetailedSimulator",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Branch-predictor simulators.
+
+The branch-predictor simulator "models the branch predictors in the individual
+cores and is invoked upon the execution of a branch instruction.  [It] returns
+whether or not a branch is correctly predicted" (paper, Section 3.1).  The
+same predictor objects are used by the interval simulator and by the detailed
+reference simulator so that both see identical miss events.
+"""
+
+from ..common.config import BranchPredictorConfig
+from .base import BranchPredictor, BranchPredictorStats
+from .btb import BranchTargetBuffer
+from .gshare import GSharePredictor
+from .local import LocalPredictor
+from .perfect import PerfectPredictor, StaticPredictor
+from .ras import ReturnAddressStack
+from .tournament import TournamentPredictor
+
+__all__ = [
+    "BranchPredictor",
+    "BranchPredictorStats",
+    "BranchTargetBuffer",
+    "GSharePredictor",
+    "LocalPredictor",
+    "PerfectPredictor",
+    "StaticPredictor",
+    "ReturnAddressStack",
+    "TournamentPredictor",
+    "create_branch_predictor",
+]
+
+
+def create_branch_predictor(
+    config: BranchPredictorConfig | None = None, perfect: bool = False
+) -> BranchPredictor:
+    """Build a branch predictor from a configuration.
+
+    Parameters
+    ----------
+    config:
+        Predictor sizing and kind; defaults to the Table-1 local predictor.
+    perfect:
+        When ``True`` (Figure-4 idealization studies), return a
+        :class:`PerfectPredictor` regardless of ``config.kind``.
+    """
+    if perfect:
+        return PerfectPredictor()
+    config = config or BranchPredictorConfig()
+    if config.kind == "perfect":
+        return PerfectPredictor()
+    if config.kind == "static":
+        return StaticPredictor()
+    if config.kind == "gshare":
+        return GSharePredictor(config)
+    if config.kind == "tournament":
+        return TournamentPredictor(config)
+    return LocalPredictor(config)

@@ -1,0 +1,89 @@
+"""Branch predictor interface.
+
+The interval simulator (and the detailed reference simulator) interact with
+the branch-predictor simulator exactly as in Figure 2 of the paper: for every
+executed branch instruction they call the predictor, which returns whether the
+branch was *correctly predicted*.  Direction prediction, target prediction
+(BTB) and return-address prediction (RAS) all contribute to that verdict.
+
+Concrete predictors live in sibling modules:
+
+* :class:`~repro.branch.local.LocalPredictor` — the 12 Kbit local-history
+  predictor of Table 1 (the default);
+* :class:`~repro.branch.gshare.GSharePredictor` and
+  :class:`~repro.branch.tournament.TournamentPredictor` — alternatives for
+  design-space exploration;
+* :class:`~repro.branch.perfect.PerfectPredictor` and
+  :class:`~repro.branch.perfect.StaticPredictor` — idealized/baseline
+  predictors used in the Figure-4 step-by-step study.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..common.isa import Instruction
+
+__all__ = ["BranchPredictor", "BranchPredictorStats"]
+
+
+@dataclass
+class BranchPredictorStats:
+    """Counters kept by every branch predictor."""
+
+    lookups: int = 0
+    direction_mispredictions: int = 0
+    target_mispredictions: int = 0
+
+    @property
+    def mispredictions(self) -> int:
+        """Total mispredictions (direction plus target)."""
+        return self.direction_mispredictions + self.target_mispredictions
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Mispredictions per lookup."""
+        if self.lookups == 0:
+            return 0.0
+        return self.mispredictions / self.lookups
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.lookups = 0
+        self.direction_mispredictions = 0
+        self.target_mispredictions = 0
+
+
+class BranchPredictor(abc.ABC):
+    """Abstract branch predictor.
+
+    Sub-classes implement :meth:`predict_direction` and are automatically
+    combined with the BTB/RAS handling in :meth:`access` when they opt into it
+    (see :mod:`repro.branch.local`).  The timing simulators only ever call
+    :meth:`access`.
+    """
+
+    def __init__(self) -> None:
+        self.stats = BranchPredictorStats()
+
+    @abc.abstractmethod
+    def access(self, instruction: Instruction) -> bool:
+        """Predict ``instruction`` and update predictor state.
+
+        Parameters
+        ----------
+        instruction:
+            A branch instruction carrying its actual outcome
+            (``is_taken`` and ``branch_target``).
+
+        Returns
+        -------
+        bool
+            ``True`` if the branch was predicted correctly (both direction
+            and, for taken branches, target), ``False`` on a misprediction.
+        """
+
+    def reset(self) -> None:
+        """Clear predictor statistics (state is kept)."""
+        self.stats.reset()

@@ -1,0 +1,83 @@
+"""Gshare global-history branch predictor.
+
+Not used by the Table-1 baseline, but provided as an alternative predictor
+for design-space exploration (one of the stated use cases of interval
+simulation is to explore high-level microarchitecture trade-offs quickly).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.config import BranchPredictorConfig
+from ..common.isa import Instruction
+from .base import BranchPredictor
+from .btb import BranchTargetBuffer
+from .ras import ReturnAddressStack
+
+__all__ = ["GSharePredictor"]
+
+
+class GSharePredictor(BranchPredictor):
+    """Gshare: global history XOR branch PC indexes a counter table."""
+
+    def __init__(self, config: BranchPredictorConfig | None = None) -> None:
+        super().__init__()
+        config = config or BranchPredictorConfig(kind="gshare")
+        self.config = config
+        self._history_bits = config.global_history_bits
+        self._history_mask = (1 << config.global_history_bits) - 1
+        self._global_history = 0
+        self._counter_max = (1 << config.counter_bits) - 1
+        self._counter_threshold = 1 << (config.counter_bits - 1)
+        table_entries = 1 << config.global_history_bits
+        self._counters: List[int] = [self._counter_threshold] * table_entries
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_associativity)
+        self.ras = ReturnAddressStack(config.ras_entries)
+
+    def _table_index(self, pc: int) -> int:
+        """Index the counter table with (PC >> 2) XOR global history."""
+        return ((pc >> 2) ^ self._global_history) & self._history_mask
+
+    def predict_direction(self, pc: int) -> bool:
+        """Predict taken/not-taken for the branch at ``pc``."""
+        return self._counters[self._table_index(pc)] >= self._counter_threshold
+
+    def update_direction(self, pc: int, taken: bool) -> None:
+        """Train the counter table and shift the global history register."""
+        index = self._table_index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(self._counter_max, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)
+        self._global_history = ((self._global_history << 1) | int(taken)) & self._history_mask
+
+    def access(self, instruction: Instruction) -> bool:
+        """Predict a branch; returns ``True`` when the prediction is correct."""
+        self.stats.lookups += 1
+        pc = instruction.pc
+        actual_taken = instruction.is_taken
+
+        predicted_taken = self.predict_direction(pc)
+        self.update_direction(pc, actual_taken)
+        correct = predicted_taken == actual_taken
+        if not correct:
+            self.stats.direction_mispredictions += 1
+
+        target_correct = True
+        if actual_taken:
+            if instruction.is_return:
+                predicted_target = self.ras.pop()
+                target_correct = predicted_target == instruction.branch_target
+            else:
+                predicted_target = self.btb.lookup(pc)
+                target_correct = predicted_target == instruction.branch_target
+                self.btb.update(pc, instruction.branch_target)
+        if instruction.is_call:
+            self.ras.push(pc + 4)
+
+        if correct and actual_taken and not target_correct:
+            self.stats.target_mispredictions += 1
+            correct = False
+        return correct

@@ -1,0 +1,53 @@
+"""Idealized and static branch predictors.
+
+:class:`PerfectPredictor` always predicts correctly — it implements the
+"perfect branch predictor" configuration of the Figure-4 step-by-step
+accuracy study.  :class:`StaticPredictor` predicts a fixed direction
+(always-taken or always-not-taken) and serves as a simple baseline and as a
+sanity check for the predictor test-suite.
+"""
+
+from __future__ import annotations
+
+from ..common.isa import Instruction
+from .base import BranchPredictor
+from .btb import BranchTargetBuffer
+
+__all__ = ["PerfectPredictor", "StaticPredictor"]
+
+
+class PerfectPredictor(BranchPredictor):
+    """Oracle predictor: every branch is predicted correctly."""
+
+    def access(self, instruction: Instruction) -> bool:
+        """Always correct; still counts lookups for statistics."""
+        self.stats.lookups += 1
+        return True
+
+
+class StaticPredictor(BranchPredictor):
+    """Always-taken or always-not-taken static predictor with a BTB."""
+
+    def __init__(self, predict_taken: bool = False, btb_entries: int = 2048,
+                 btb_associativity: int = 8) -> None:
+        super().__init__()
+        self.predict_taken = predict_taken
+        self.btb = BranchTargetBuffer(btb_entries, btb_associativity)
+
+    def access(self, instruction: Instruction) -> bool:
+        """Predict the fixed direction; taken predictions also need the BTB."""
+        self.stats.lookups += 1
+        actual_taken = instruction.is_taken
+        correct = self.predict_taken == actual_taken
+        if not correct:
+            self.stats.direction_mispredictions += 1
+            if actual_taken:
+                self.btb.update(instruction.pc, instruction.branch_target)
+            return False
+        if actual_taken:
+            predicted_target = self.btb.lookup(instruction.pc)
+            self.btb.update(instruction.pc, instruction.branch_target)
+            if predicted_target != instruction.branch_target:
+                self.stats.target_mispredictions += 1
+                return False
+        return True

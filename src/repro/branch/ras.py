@@ -1,0 +1,43 @@
+"""Return address stack (RAS).
+
+Table 1 specifies a 32-entry return address stack.  Calls push their fall-
+through address; returns pop the predicted return target.  The stack is a
+circular buffer: overflow silently overwrites the oldest entry (as in real
+hardware), and underflow yields a misprediction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["ReturnAddressStack"]
+
+
+class ReturnAddressStack:
+    """A fixed-capacity circular return address stack."""
+
+    def __init__(self, entries: int = 32) -> None:
+        if entries <= 0:
+            raise ValueError("RAS must have at least one entry")
+        self.entries = entries
+        self._stack: List[int] = []
+
+    def push(self, return_address: int) -> None:
+        """Push the return address of a call instruction."""
+        self._stack.append(return_address)
+        if len(self._stack) > self.entries:
+            # Circular overwrite: the oldest entry is lost.
+            self._stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        """Pop the predicted target of a return, or ``None`` if empty."""
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def flush(self) -> None:
+        """Clear the stack (e.g. on a pipeline flush in detailed models)."""
+        self._stack.clear()

@@ -1,0 +1,80 @@
+"""Tournament (hybrid) branch predictor.
+
+Combines the local and gshare components with a chooser table of saturating
+counters, in the style of the Alpha 21264 hybrid predictor.  Provided for
+design-space exploration studies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.config import BranchPredictorConfig
+from ..common.isa import Instruction
+from .base import BranchPredictor
+from .btb import BranchTargetBuffer
+from .gshare import GSharePredictor
+from .local import LocalPredictor
+from .ras import ReturnAddressStack
+
+__all__ = ["TournamentPredictor"]
+
+
+class TournamentPredictor(BranchPredictor):
+    """Hybrid local/gshare predictor with a global chooser."""
+
+    def __init__(self, config: BranchPredictorConfig | None = None) -> None:
+        super().__init__()
+        config = config or BranchPredictorConfig(kind="tournament")
+        self.config = config
+        self._local = LocalPredictor(config)
+        self._gshare = GSharePredictor(config)
+        chooser_entries = 1 << config.global_history_bits
+        # Chooser counters: >= 2 selects the gshare component.
+        self._chooser: List[int] = [2] * chooser_entries
+        self._chooser_mask = chooser_entries - 1
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_associativity)
+        self.ras = ReturnAddressStack(config.ras_entries)
+
+    def access(self, instruction: Instruction) -> bool:
+        """Predict a branch; returns ``True`` when the prediction is correct."""
+        self.stats.lookups += 1
+        pc = instruction.pc
+        actual_taken = instruction.is_taken
+        chooser_index = (pc >> 2) & self._chooser_mask
+
+        local_prediction = self._local.predict_direction(pc)
+        gshare_prediction = self._gshare.predict_direction(pc)
+        use_gshare = self._chooser[chooser_index] >= 2
+        predicted_taken = gshare_prediction if use_gshare else local_prediction
+
+        # Train both components and the chooser.
+        self._local.update_direction(pc, actual_taken)
+        self._gshare.update_direction(pc, actual_taken)
+        local_correct = local_prediction == actual_taken
+        gshare_correct = gshare_prediction == actual_taken
+        if gshare_correct and not local_correct:
+            self._chooser[chooser_index] = min(3, self._chooser[chooser_index] + 1)
+        elif local_correct and not gshare_correct:
+            self._chooser[chooser_index] = max(0, self._chooser[chooser_index] - 1)
+
+        correct = predicted_taken == actual_taken
+        if not correct:
+            self.stats.direction_mispredictions += 1
+
+        target_correct = True
+        if actual_taken:
+            if instruction.is_return:
+                predicted_target = self.ras.pop()
+                target_correct = predicted_target == instruction.branch_target
+            else:
+                predicted_target = self.btb.lookup(pc)
+                target_correct = predicted_target == instruction.branch_target
+                self.btb.update(pc, instruction.branch_target)
+        if instruction.is_call:
+            self.ras.push(pc + 4)
+
+        if correct and actual_taken and not target_correct:
+            self.stats.target_mispredictions += 1
+            correct = False
+        return correct

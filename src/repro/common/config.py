@@ -1,0 +1,356 @@
+"""Machine configuration for the simulated processors.
+
+This module encodes the baseline processor core and memory-subsystem
+parameters of Table 1 in the paper, and provides dataclasses from which every
+simulator in the package (interval, detailed, one-IPC) builds its models.
+
+Configuration is split into:
+
+* :class:`CoreConfig` — out-of-order core resources (ROB, queues, widths,
+  functional units, pipeline depth, branch predictor sizing);
+* :class:`CacheConfig` / :class:`TLBConfig` — individual cache / TLB
+  geometries and latencies;
+* :class:`MemoryConfig` — the memory hierarchy: private L1s, shared L2,
+  coherence protocol, DRAM latency and off-chip bandwidth;
+* :class:`MachineConfig` — a whole chip multiprocessor: number of cores plus
+  the above.
+
+``default_machine_config()`` reproduces Table 1; the Figure-8 case study
+configurations are available through :func:`dualcore_l2_config` and
+:func:`quadcore_3d_stacked_config`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from .isa import DEFAULT_EXECUTION_LATENCIES, InstructionClass
+
+__all__ = [
+    "CacheConfig",
+    "TLBConfig",
+    "BranchPredictorConfig",
+    "CoreConfig",
+    "MemoryConfig",
+    "MachineConfig",
+    "PerfectStructures",
+    "default_core_config",
+    "default_memory_config",
+    "default_machine_config",
+    "dualcore_l2_config",
+    "quadcore_3d_stacked_config",
+]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of a single cache level.
+
+    Attributes
+    ----------
+    size_bytes:
+        Total capacity in bytes.
+    associativity:
+        Number of ways per set.
+    line_size:
+        Cache line size in bytes.
+    hit_latency:
+        Access latency in cycles on a hit.
+    """
+
+    size_bytes: int
+    associativity: int
+    line_size: int = 64
+    hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line size must be a positive power of two")
+        if self.size_bytes % (self.associativity * self.line_size):
+            raise ValueError(
+                "cache size must be a multiple of associativity * line size"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.associativity * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_size
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry of a translation lookaside buffer.
+
+    The defaults follow the Alpha-style machines the paper models: 128
+    fully-competitive entries over 8 KB pages, with a fixed page-table-walk
+    latency charged on a miss.
+    """
+
+    entries: int = 128
+    associativity: int = 4
+    page_size: int = 8192
+    miss_latency: int = 30
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        if self.entries % self.associativity:
+            raise ValueError("TLB entries must be a multiple of associativity")
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError("page size must be a positive power of two")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of TLB sets."""
+        return self.entries // self.associativity
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Sizing of the branch prediction structures (Table 1).
+
+    The paper uses a 12 Kbit local predictor, a 32-entry return address stack
+    and an 8-way set-associative 2K-entry BTB.
+    """
+
+    kind: str = "local"
+    local_history_entries: int = 2048
+    local_history_bits: int = 11
+    counter_bits: int = 2
+    btb_entries: int = 2048
+    btb_associativity: int = 8
+    ras_entries: int = 32
+    global_history_bits: int = 12
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("local", "gshare", "tournament", "perfect", "static"):
+            raise ValueError(f"unknown branch predictor kind: {self.kind!r}")
+        if self.local_history_entries <= 0:
+            raise ValueError("local history table must have entries")
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core resources (Table 1 of the paper)."""
+
+    rob_entries: int = 256
+    issue_queue_entries: int = 128
+    load_store_queue_entries: int = 128
+    store_buffer_entries: int = 64
+    decode_width: int = 4
+    dispatch_width: int = 4
+    commit_width: int = 4
+    issue_width: int = 6
+    fetch_width: int = 8
+    fetch_queue_entries: int = 16
+    frontend_pipeline_depth: int = 7
+    int_alu_units: int = 4
+    load_store_units: int = 4
+    fp_units: int = 4
+    execution_latencies: Dict[InstructionClass, int] = field(
+        default_factory=lambda: dict(DEFAULT_EXECUTION_LATENCIES)
+    )
+    branch_predictor: BranchPredictorConfig = field(
+        default_factory=BranchPredictorConfig
+    )
+    mshr_entries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.rob_entries <= 0:
+            raise ValueError("ROB must have entries")
+        if self.dispatch_width <= 0:
+            raise ValueError("dispatch width must be positive")
+        if self.frontend_pipeline_depth <= 0:
+            raise ValueError("front-end pipeline depth must be positive")
+        if self.issue_width <= 0:
+            raise ValueError("issue width must be positive")
+
+    def latency_of(self, klass: InstructionClass) -> int:
+        """Execution latency of an instruction class on this core."""
+        return self.execution_latencies.get(klass, 1)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Memory-subsystem parameters (Table 1 of the paper).
+
+    The L2 is shared among all cores of the chip multiprocessor; the L1
+    instruction and data caches as well as the TLBs are private per core.
+    """
+
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * 1024, associativity=4, line_size=64, hit_latency=1
+        )
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * 1024, associativity=4, line_size=64, hit_latency=2
+        )
+    )
+    l2: Optional[CacheConfig] = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=4 * 1024 * 1024, associativity=8, line_size=64, hit_latency=12
+        )
+    )
+    itlb: TLBConfig = field(default_factory=TLBConfig)
+    dtlb: TLBConfig = field(default_factory=TLBConfig)
+    coherence_protocol: str = "MOESI"
+    dram_latency: int = 150
+    memory_bus_bytes_per_cycle: float = 4.0
+    memory_bus_width_bytes: int = 16
+    clock_ghz: float = 2.66
+
+    def __post_init__(self) -> None:
+        if self.coherence_protocol not in ("MOESI", "MESI", "MSI", "NONE"):
+            raise ValueError(
+                f"unsupported coherence protocol: {self.coherence_protocol!r}"
+            )
+        if self.dram_latency <= 0:
+            raise ValueError("DRAM latency must be positive")
+        if self.memory_bus_bytes_per_cycle <= 0:
+            raise ValueError("memory bandwidth must be positive")
+
+    @property
+    def peak_bandwidth_gbs(self) -> float:
+        """Peak off-chip bandwidth in GB/s implied by the bus parameters."""
+        return self.memory_bus_bytes_per_cycle * self.clock_ghz
+
+
+@dataclass(frozen=True)
+class PerfectStructures:
+    """Selectively idealize structures for the Figure-4 step-by-step study.
+
+    Each flag forces the corresponding structure to behave perfectly (always
+    hit / always predict correctly).  The four experiments in Figure 4 of the
+    paper are expressed by combinations of these flags.
+    """
+
+    branch_predictor: bool = False
+    l1i: bool = False
+    l1d: bool = False
+    l2: bool = False
+    itlb: bool = False
+    dtlb: bool = False
+
+    @staticmethod
+    def none() -> "PerfectStructures":
+        """Nothing idealized — the full model (Figure 5 configuration)."""
+        return PerfectStructures()
+
+    @staticmethod
+    def dispatch_rate_study() -> "PerfectStructures":
+        """Figure 4(a): perfect branch predictor, I-cache/TLB and L2.
+
+        Only the L1 D-cache is non-perfect, isolating the accuracy of the
+        effective dispatch-rate model.
+        """
+        return PerfectStructures(
+            branch_predictor=True, l1i=True, itlb=True, l2=True, dtlb=True
+        )
+
+    @staticmethod
+    def icache_study() -> "PerfectStructures":
+        """Figure 4(b): only the I-cache and I-TLB are non-perfect."""
+        return PerfectStructures(
+            branch_predictor=True, l1d=True, l2=True, dtlb=True
+        )
+
+    @staticmethod
+    def branch_study() -> "PerfectStructures":
+        """Figure 4(c): only the branch predictor is non-perfect."""
+        return PerfectStructures(l1i=True, l1d=True, l2=True, itlb=True, dtlb=True)
+
+    @staticmethod
+    def l2_study() -> "PerfectStructures":
+        """Figure 4(d): L1 D-cache and L2 non-perfect; rest perfect."""
+        return PerfectStructures(branch_predictor=True, l1i=True, itlb=True)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete chip-multiprocessor configuration.
+
+    Attributes
+    ----------
+    num_cores:
+        Number of cores on the chip (the paper evaluates 1, 2, 4 and 8).
+    core:
+        Per-core resources; all cores are homogeneous.
+    memory:
+        Memory-hierarchy parameters; the L2 and off-chip bandwidth are shared.
+    perfect:
+        Structures idealized for step-by-step accuracy studies.
+    """
+
+    num_cores: int = 1
+    core: CoreConfig = field(default_factory=CoreConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    perfect: PerfectStructures = field(default_factory=PerfectStructures)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("machine must have at least one core")
+
+    def with_cores(self, num_cores: int) -> "MachineConfig":
+        """Return a copy of this configuration with a different core count."""
+        return replace(self, num_cores=num_cores)
+
+    def with_perfect(self, perfect: PerfectStructures) -> "MachineConfig":
+        """Return a copy with different idealization flags."""
+        return replace(self, perfect=perfect)
+
+
+def default_core_config() -> CoreConfig:
+    """The baseline 4-wide out-of-order core of Table 1."""
+    return CoreConfig()
+
+
+def default_memory_config() -> MemoryConfig:
+    """The baseline memory subsystem of Table 1 (4 MB shared L2, MOESI)."""
+    return MemoryConfig()
+
+
+def default_machine_config(num_cores: int = 1) -> MachineConfig:
+    """The baseline chip multiprocessor of Table 1 with ``num_cores`` cores."""
+    return MachineConfig(num_cores=num_cores)
+
+
+def dualcore_l2_config() -> MachineConfig:
+    """Figure-8 case study, first architecture.
+
+    A dual-core processor with a 4 MB L2 cache connected to external DRAM
+    through a 16-byte wide memory bus (150-cycle DRAM access latency).
+    """
+    memory = MemoryConfig(
+        dram_latency=150,
+        memory_bus_width_bytes=16,
+        memory_bus_bytes_per_cycle=4.0,
+    )
+    return MachineConfig(num_cores=2, memory=memory)
+
+
+def quadcore_3d_stacked_config() -> MachineConfig:
+    """Figure-8 case study, second architecture.
+
+    A quad-core processor without an L2 cache, connected to 3D-stacked DRAM
+    through a 128-byte wide memory bus (125-cycle DRAM access latency).
+    """
+    memory = MemoryConfig(
+        l2=None,
+        dram_latency=125,
+        memory_bus_width_bytes=128,
+        memory_bus_bytes_per_cycle=32.0,
+    )
+    return MachineConfig(num_cores=4, memory=memory)

@@ -1,0 +1,338 @@
+"""Instruction model shared by every simulator in the package.
+
+The paper's interval simulator is *functional-first*: a functional simulator
+produces a dynamic instruction stream, and the timing models (interval and
+detailed) consume that stream.  This module defines the instruction record
+exchanged between the functional substrate (``repro.trace``) and the timing
+simulators (``repro.core``, ``repro.detailed``).
+
+An :class:`Instruction` carries everything the timing models need:
+
+* an operation class (:class:`InstructionClass`) — integer ALU, FP, multiply,
+  divide, load, store, branch, serializing, or a synchronization pseudo-op;
+* register dependences (source and destination architectural registers);
+* a memory address and size for loads/stores;
+* static branch information (target, actual direction) for branches;
+* the thread it belongs to, so multi-threaded traces can be interleaved.
+
+Instructions are deliberately lightweight (``__slots__``) because a single
+experiment simulates tens of millions of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "InstructionClass",
+    "SyncKind",
+    "Instruction",
+    "NUM_ARCH_REGISTERS",
+    "DEFAULT_EXECUTION_LATENCIES",
+    "execution_latency",
+    "is_memory_class",
+]
+
+
+#: Number of architectural registers assumed by the synthetic ISA.  The value
+#: mirrors the Alpha ISA used in the paper (32 integer + 32 FP registers); the
+#: trace generator draws register names from this space.
+NUM_ARCH_REGISTERS = 64
+
+
+class InstructionClass(enum.IntEnum):
+    """Operation classes distinguished by the timing models.
+
+    The set follows Table 1 of the paper: integer ALU operations, loads,
+    stores, multiplies, floating-point operations, divides, branches, plus
+    serializing instructions (memory barriers, system instructions) and
+    synchronization pseudo-operations used by the multi-threaded traces.
+    """
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ALU = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+    SERIALIZING = 9
+    SYNC = 10
+    NOP = 11
+
+
+class SyncKind(enum.IntEnum):
+    """Kinds of synchronization pseudo-operations.
+
+    Multi-threaded (PARSEC-like) traces contain explicit synchronization
+    events.  The multi-core simulators interpret them to model inter-thread
+    synchronization (Section 3 of the paper: "it models multi-threaded
+    execution including inter-thread synchronization and cache coherence").
+    """
+
+    NONE = 0
+    BARRIER = 1
+    LOCK_ACQUIRE = 2
+    LOCK_RELEASE = 3
+    THREAD_SPAWN = 4
+    THREAD_JOIN = 5
+
+
+#: Default execution latencies (in cycles) per instruction class, matching
+#: Table 1 of the paper: load (2), mul (3), fp (4), div (20); simple integer
+#: operations take a single cycle.
+DEFAULT_EXECUTION_LATENCIES: dict[InstructionClass, int] = {
+    InstructionClass.INT_ALU: 1,
+    InstructionClass.INT_MUL: 3,
+    InstructionClass.INT_DIV: 20,
+    InstructionClass.FP_ALU: 4,
+    InstructionClass.FP_MUL: 4,
+    InstructionClass.FP_DIV: 20,
+    InstructionClass.LOAD: 2,
+    InstructionClass.STORE: 1,
+    InstructionClass.BRANCH: 1,
+    InstructionClass.SERIALIZING: 1,
+    InstructionClass.SYNC: 1,
+    InstructionClass.NOP: 1,
+}
+
+
+def execution_latency(
+    klass: InstructionClass,
+    latencies: Optional[dict[InstructionClass, int]] = None,
+) -> int:
+    """Return the functional-unit latency for an instruction class.
+
+    Parameters
+    ----------
+    klass:
+        The instruction class to look up.
+    latencies:
+        Optional override table; defaults to
+        :data:`DEFAULT_EXECUTION_LATENCIES`.
+    """
+    table = latencies if latencies is not None else DEFAULT_EXECUTION_LATENCIES
+    return table.get(klass, 1)
+
+
+def is_memory_class(klass: InstructionClass) -> bool:
+    """Return ``True`` for instruction classes that access data memory."""
+    return klass in (InstructionClass.LOAD, InstructionClass.STORE)
+
+
+class Instruction:
+    """A single dynamic instruction produced by the functional substrate.
+
+    Attributes
+    ----------
+    seq:
+        Per-thread dynamic sequence number (0-based).
+    thread_id:
+        Identifier of the software thread the instruction belongs to.
+    pc:
+        Program counter (byte address) of the instruction.
+    klass:
+        The :class:`InstructionClass` of the operation.
+    src_regs:
+        Tuple of architectural source register indices.
+    dst_reg:
+        Destination architectural register index or ``None``.
+    mem_addr:
+        Effective byte address for loads/stores, else ``None``.
+    mem_size:
+        Access size in bytes for loads/stores.
+    is_taken:
+        For branches, whether the branch is actually taken.
+    branch_target:
+        For branches, the actual target address.
+    is_call / is_return:
+        Call/return markers used by the return-address-stack predictor.
+    sync:
+        Synchronization kind for ``SYNC`` pseudo-ops.
+    sync_object:
+        Identifier of the lock/barrier the ``SYNC`` op refers to.
+    is_kernel:
+        ``True`` when the instruction belongs to OS (full-system) code.
+    """
+
+    __slots__ = (
+        "seq",
+        "thread_id",
+        "pc",
+        "klass",
+        "src_regs",
+        "dst_reg",
+        "mem_addr",
+        "mem_size",
+        "is_taken",
+        "branch_target",
+        "is_call",
+        "is_return",
+        "sync",
+        "sync_object",
+        "is_kernel",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        klass: InstructionClass,
+        src_regs: Tuple[int, ...] = (),
+        dst_reg: Optional[int] = None,
+        mem_addr: Optional[int] = None,
+        mem_size: int = 8,
+        is_taken: bool = False,
+        branch_target: int = 0,
+        is_call: bool = False,
+        is_return: bool = False,
+        sync: SyncKind = SyncKind.NONE,
+        sync_object: int = 0,
+        thread_id: int = 0,
+        is_kernel: bool = False,
+    ) -> None:
+        self.seq = seq
+        self.thread_id = thread_id
+        self.pc = pc
+        self.klass = klass
+        self.src_regs = src_regs
+        self.dst_reg = dst_reg
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.is_taken = is_taken
+        self.branch_target = branch_target
+        self.is_call = is_call
+        self.is_return = is_return
+        self.sync = sync
+        self.sync_object = sync_object
+        self.is_kernel = is_kernel
+
+    # -- convenience predicates -------------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        """``True`` if this instruction reads data memory."""
+        return self.klass == InstructionClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """``True`` if this instruction writes data memory."""
+        return self.klass == InstructionClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        """``True`` if this instruction accesses data memory."""
+        return self.klass in (InstructionClass.LOAD, InstructionClass.STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        """``True`` if this instruction is a control-flow instruction."""
+        return self.klass == InstructionClass.BRANCH
+
+    @property
+    def is_serializing(self) -> bool:
+        """``True`` for serializing instructions (window drain required)."""
+        return self.klass == InstructionClass.SERIALIZING
+
+    @property
+    def is_sync(self) -> bool:
+        """``True`` for synchronization pseudo-operations."""
+        return self.klass == InstructionClass.SYNC
+
+    def base_latency(
+        self, latencies: Optional[dict[InstructionClass, int]] = None
+    ) -> int:
+        """Execution latency of this instruction excluding memory misses."""
+        return execution_latency(self.klass, latencies)
+
+    def depends_on(self, other: "Instruction") -> bool:
+        """Return ``True`` if this instruction directly depends on ``other``.
+
+        A direct dependence exists when one of this instruction's source
+        registers is written by ``other`` (register dependence) or when both
+        instructions access overlapping memory and at least one is a store
+        (memory dependence).  This is the independence test used when scanning
+        the window for miss events overlapped by a long-latency load
+        (Section 3.2 of the paper).
+        """
+        if other.dst_reg is not None and other.dst_reg in self.src_regs:
+            return True
+        if self.is_memory and other.is_memory:
+            if self.is_store or other.is_store:
+                if self.mem_addr is not None and other.mem_addr is not None:
+                    if _ranges_overlap(
+                        self.mem_addr, self.mem_size, other.mem_addr, other.mem_size
+                    ):
+                        return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Instruction(seq={self.seq}, tid={self.thread_id}, pc={self.pc:#x}, "
+            f"klass={self.klass.name}, dst={self.dst_reg}, srcs={self.src_regs}, "
+            f"addr={self.mem_addr})"
+        )
+
+
+def _ranges_overlap(addr_a: int, size_a: int, addr_b: int, size_b: int) -> bool:
+    """Return ``True`` when two byte ranges overlap."""
+    return addr_a < addr_b + size_b and addr_b < addr_a + size_a
+
+
+@dataclass
+class InstructionMix:
+    """Fractions of each instruction class in a workload.
+
+    Used by the synthetic trace generator and reported by the statistics
+    module.  Fractions need not sum exactly to one; the generator normalizes
+    them.
+    """
+
+    int_alu: float = 0.45
+    int_mul: float = 0.02
+    int_div: float = 0.005
+    fp_alu: float = 0.05
+    fp_mul: float = 0.02
+    fp_div: float = 0.005
+    load: float = 0.25
+    store: float = 0.10
+    branch: float = 0.10
+    serializing: float = 0.0005
+
+    def as_weights(self) -> dict[InstructionClass, float]:
+        """Return the mix as a class → weight mapping (unnormalized)."""
+        return {
+            InstructionClass.INT_ALU: self.int_alu,
+            InstructionClass.INT_MUL: self.int_mul,
+            InstructionClass.INT_DIV: self.int_div,
+            InstructionClass.FP_ALU: self.fp_alu,
+            InstructionClass.FP_MUL: self.fp_mul,
+            InstructionClass.FP_DIV: self.fp_div,
+            InstructionClass.LOAD: self.load,
+            InstructionClass.STORE: self.store,
+            InstructionClass.BRANCH: self.branch,
+            InstructionClass.SERIALIZING: self.serializing,
+        }
+
+    def normalized(self) -> "InstructionMix":
+        """Return a copy whose fractions sum to one."""
+        weights = self.as_weights()
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("instruction mix must have positive total weight")
+        return InstructionMix(
+            int_alu=self.int_alu / total,
+            int_mul=self.int_mul / total,
+            int_div=self.int_div / total,
+            fp_alu=self.fp_alu / total,
+            fp_mul=self.fp_mul / total,
+            fp_div=self.fp_div / total,
+            load=self.load / total,
+            store=self.store / total,
+            branch=self.branch / total,
+            serializing=self.serializing / total,
+        )

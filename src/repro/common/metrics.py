@@ -1,0 +1,167 @@
+"""Multi-program and accuracy metrics.
+
+The paper reports three families of numbers:
+
+* per-benchmark **IPC** for single-threaded workloads (Figures 4 and 5);
+* **STP** (system throughput) and **ANTT** (average normalized turnaround
+  time) for multi-program workloads (Figure 6), following Eyerman & Eeckhout,
+  "System-level performance metrics for multi-program workloads";
+* normalized **execution time** and **simulation speedup** for multi-threaded
+  workloads (Figures 7–10).
+
+This module implements those metrics plus the error metrics used to compare
+interval simulation against the detailed reference (average / maximum
+percentage error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = [
+    "system_throughput",
+    "average_normalized_turnaround_time",
+    "normalized_progress",
+    "percentage_error",
+    "average_error",
+    "maximum_error",
+    "speedup",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+
+def normalized_progress(
+    single_cycles: Sequence[float], multi_cycles: Sequence[float]
+) -> List[float]:
+    """Per-program normalized progress when co-running versus running alone.
+
+    ``NP_i = C_i^single / C_i^multi`` where ``C_i^single`` is the number of
+    cycles program *i* needs in isolation and ``C_i^multi`` the number of
+    cycles it needs when co-scheduled with the other programs.
+
+    Raises
+    ------
+    ValueError
+        If the two sequences differ in length or contain non-positive cycles.
+    """
+    if len(single_cycles) != len(multi_cycles):
+        raise ValueError("single and multi cycle lists must have equal length")
+    progress = []
+    for single, multi in zip(single_cycles, multi_cycles):
+        if single <= 0 or multi <= 0:
+            raise ValueError("cycle counts must be positive")
+        progress.append(single / multi)
+    return progress
+
+
+def system_throughput(
+    single_cycles: Sequence[float], multi_cycles: Sequence[float]
+) -> float:
+    """System throughput (STP): the sum of normalized progress values.
+
+    STP is a system-oriented metric; higher is better.  For *n* identical
+    programs with no interference STP equals *n*.
+    """
+    return sum(normalized_progress(single_cycles, multi_cycles))
+
+
+def average_normalized_turnaround_time(
+    single_cycles: Sequence[float], multi_cycles: Sequence[float]
+) -> float:
+    """Average normalized turnaround time (ANTT); lower is better.
+
+    ``ANTT = (1/n) * sum_i C_i^multi / C_i^single`` — the average slowdown
+    each program experiences from co-execution.
+    """
+    progress = normalized_progress(single_cycles, multi_cycles)
+    if not progress:
+        raise ValueError("cannot compute ANTT of an empty workload")
+    return sum(1.0 / p for p in progress) / len(progress)
+
+
+def percentage_error(estimate: float, reference: float) -> float:
+    """Signed percentage error of ``estimate`` with respect to ``reference``."""
+    if reference == 0:
+        raise ValueError("reference value must be non-zero")
+    return (estimate - reference) / reference * 100.0
+
+
+def average_error(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Mean absolute percentage error across paired estimates/references."""
+    if len(estimates) != len(references):
+        raise ValueError("estimate and reference lists must have equal length")
+    if not estimates:
+        raise ValueError("cannot average an empty error list")
+    return sum(
+        abs(percentage_error(est, ref)) for est, ref in zip(estimates, references)
+    ) / len(estimates)
+
+
+def maximum_error(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Maximum absolute percentage error across paired estimates/references."""
+    if len(estimates) != len(references):
+        raise ValueError("estimate and reference lists must have equal length")
+    if not estimates:
+        raise ValueError("cannot take the maximum of an empty error list")
+    return max(
+        abs(percentage_error(est, ref)) for est, ref in zip(estimates, references)
+    )
+
+
+def speedup(reference_seconds: float, accelerated_seconds: float) -> float:
+    """Speedup of an accelerated run over a reference run (both wall-clock)."""
+    if accelerated_seconds <= 0:
+        raise ValueError("accelerated time must be positive")
+    if reference_seconds <= 0:
+        raise ValueError("reference time must be positive")
+    return reference_seconds / accelerated_seconds
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Average and maximum absolute percentage error over a benchmark set."""
+
+    average: float
+    maximum: float
+    per_benchmark: Dict[str, float]
+
+    def __str__(self) -> str:
+        return (
+            f"avg error {self.average:.1f}%, max error {self.maximum:.1f}% "
+            f"({len(self.per_benchmark)} benchmarks)"
+        )
+
+
+def summarize_errors(
+    estimates: Mapping[str, float], references: Mapping[str, float]
+) -> ErrorSummary:
+    """Compare named estimates against named references.
+
+    Parameters
+    ----------
+    estimates:
+        Mapping benchmark → metric (e.g. IPC from interval simulation).
+    references:
+        Mapping benchmark → metric (e.g. IPC from detailed simulation); keys
+        must match ``estimates``.
+    """
+    if set(estimates) != set(references):
+        raise ValueError("estimate and reference benchmark sets differ")
+    if not estimates:
+        raise ValueError("cannot summarize an empty benchmark set")
+    per_benchmark = {
+        name: abs(percentage_error(estimates[name], references[name]))
+        for name in sorted(estimates)
+    }
+    values = list(per_benchmark.values())
+    return ErrorSummary(
+        average=sum(values) / len(values),
+        maximum=max(values),
+        per_benchmark=per_benchmark,
+    )

@@ -1,0 +1,299 @@
+"""Statistics collection for the simulators.
+
+Every simulator in the package (interval, detailed, one-IPC) records its
+activity into a :class:`CoreStats` per simulated core plus a
+:class:`SimulationStats` aggregate.  The statistics are intentionally
+simulator-agnostic: accuracy comparisons in the experiment harness only need
+cycles, instruction counts and miss-event counts from both simulators.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Counter",
+    "CoreStats",
+    "SimulationStats",
+    "Stopwatch",
+]
+
+
+class Counter:
+    """A named event counter with convenience accumulation helpers."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` to the counter."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Counter({self.name!r}, {self.value})"
+
+
+@dataclass
+class CoreStats:
+    """Per-core statistics recorded by a timing simulator.
+
+    The miss-event counters follow the interval taxonomy of the paper:
+    I-cache/I-TLB misses, branch mispredictions, long-latency loads and
+    serializing instructions; these are the events that delimit intervals.
+    """
+
+    core_id: int = 0
+    instructions: int = 0
+    cycles: int = 0
+    # Miss events (interval delimiters).
+    icache_misses: int = 0
+    itlb_misses: int = 0
+    branch_lookups: int = 0
+    branch_mispredictions: int = 0
+    dcache_accesses: int = 0
+    l1d_misses: int = 0
+    dtlb_misses: int = 0
+    long_latency_loads: int = 0
+    serializing_instructions: int = 0
+    # Second-order / overlap bookkeeping (interval simulator only).
+    overlapped_icache_accesses: int = 0
+    overlapped_branches: int = 0
+    overlapped_loads: int = 0
+    # Synchronization behaviour (multi-threaded workloads).
+    sync_stall_cycles: int = 0
+    barrier_waits: int = 0
+    lock_acquisitions: int = 0
+    lock_contended: int = 0
+    # Miscellaneous.
+    dispatch_stall_cycles: int = 0
+    committed_stores: int = 0
+    committed_loads: int = 0
+    # CPI-stack components (cycles attributed to each penalty class by the
+    # interval model; the detailed model leaves them at zero).
+    base_cycles: int = 0
+    icache_penalty_cycles: int = 0
+    branch_penalty_cycles: int = 0
+    long_load_penalty_cycles: int = 0
+    serializing_penalty_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle committed by this core."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction committed by this core."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        """Mispredictions per executed branch."""
+        if self.branch_lookups == 0:
+            return 0.0
+        return self.branch_mispredictions / self.branch_lookups
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        """L1 D-cache misses per data-cache access."""
+        if self.dcache_accesses == 0:
+            return 0.0
+        return self.l1d_misses / self.dcache_accesses
+
+    def merge(self, other: "CoreStats") -> None:
+        """Accumulate another core's statistics into this one."""
+        for field_name in (
+            "instructions",
+            "cycles",
+            "icache_misses",
+            "itlb_misses",
+            "branch_lookups",
+            "branch_mispredictions",
+            "dcache_accesses",
+            "l1d_misses",
+            "dtlb_misses",
+            "long_latency_loads",
+            "serializing_instructions",
+            "overlapped_icache_accesses",
+            "overlapped_branches",
+            "overlapped_loads",
+            "sync_stall_cycles",
+            "barrier_waits",
+            "lock_acquisitions",
+            "lock_contended",
+            "dispatch_stall_cycles",
+            "committed_stores",
+            "committed_loads",
+            "base_cycles",
+            "icache_penalty_cycles",
+            "branch_penalty_cycles",
+            "long_load_penalty_cycles",
+            "serializing_penalty_cycles",
+        ):
+            setattr(self, field_name, getattr(self, field_name) + getattr(other, field_name))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a flat dictionary of all counters plus derived rates."""
+        result = {
+            "core_id": self.core_id,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "cpi": self.cpi,
+            "icache_misses": self.icache_misses,
+            "itlb_misses": self.itlb_misses,
+            "branch_lookups": self.branch_lookups,
+            "branch_mispredictions": self.branch_mispredictions,
+            "branch_misprediction_rate": self.branch_misprediction_rate,
+            "dcache_accesses": self.dcache_accesses,
+            "l1d_misses": self.l1d_misses,
+            "l1d_miss_rate": self.l1d_miss_rate,
+            "dtlb_misses": self.dtlb_misses,
+            "long_latency_loads": self.long_latency_loads,
+            "serializing_instructions": self.serializing_instructions,
+            "overlapped_icache_accesses": self.overlapped_icache_accesses,
+            "overlapped_branches": self.overlapped_branches,
+            "overlapped_loads": self.overlapped_loads,
+            "sync_stall_cycles": self.sync_stall_cycles,
+            "barrier_waits": self.barrier_waits,
+            "lock_acquisitions": self.lock_acquisitions,
+            "lock_contended": self.lock_contended,
+            "dispatch_stall_cycles": self.dispatch_stall_cycles,
+            "committed_stores": self.committed_stores,
+            "committed_loads": self.committed_loads,
+            "base_cycles": self.base_cycles,
+            "icache_penalty_cycles": self.icache_penalty_cycles,
+            "branch_penalty_cycles": self.branch_penalty_cycles,
+            "long_load_penalty_cycles": self.long_load_penalty_cycles,
+            "serializing_penalty_cycles": self.serializing_penalty_cycles,
+        }
+        return result
+
+    def cpi_stack(self) -> Dict[str, float]:
+        """Per-instruction cycle breakdown (CPI stack) recorded by the model.
+
+        Only meaningful for simulators that attribute penalties to miss-event
+        classes (the interval and one-IPC models); components are normalized
+        by the committed instruction count.
+        """
+        if self.instructions == 0:
+            return {}
+        return {
+            "base": self.base_cycles / self.instructions,
+            "icache": self.icache_penalty_cycles / self.instructions,
+            "branch": self.branch_penalty_cycles / self.instructions,
+            "memory": self.long_load_penalty_cycles / self.instructions,
+            "serializing": self.serializing_penalty_cycles / self.instructions,
+            "sync": self.sync_stall_cycles / self.instructions,
+        }
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate statistics of one simulation run.
+
+    Attributes
+    ----------
+    cores:
+        Per-core statistics, indexed by core id.
+    total_cycles:
+        Multi-core simulated time (cycles) at the end of the run.
+    wall_clock_seconds:
+        Host wall-clock time taken by the simulation — used for the
+        Figure 9/10 simulation-speedup experiments.
+    simulator:
+        Name of the simulator that produced the run ("interval", "detailed",
+        "oneipc"), recorded so result tables can label their rows.
+    """
+
+    cores: List[CoreStats] = field(default_factory=list)
+    total_cycles: int = 0
+    wall_clock_seconds: float = 0.0
+    simulator: str = ""
+    memory_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores in the simulated machine."""
+        return len(self.cores)
+
+    @property
+    def total_instructions(self) -> int:
+        """Total instructions committed across all cores."""
+        return sum(core.instructions for core in self.cores)
+
+    @property
+    def aggregate_ipc(self) -> float:
+        """Chip-level IPC: total instructions over multi-core cycles."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.total_instructions / self.total_cycles
+
+    def core_ipcs(self) -> List[float]:
+        """Per-core IPC values."""
+        return [core.ipc for core in self.cores]
+
+    def per_core_cycles(self) -> List[int]:
+        """Per-core cycle counts (completion time of each core)."""
+        return [core.cycles for core in self.cores]
+
+    def simulated_kips(self) -> float:
+        """Simulation throughput in thousands of simulated instructions/second."""
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.total_instructions / self.wall_clock_seconds / 1000.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the run's statistics for reporting."""
+        return {
+            "simulator": self.simulator,
+            "num_cores": self.num_cores,
+            "total_cycles": self.total_cycles,
+            "total_instructions": self.total_instructions,
+            "aggregate_ipc": self.aggregate_ipc,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "cores": [core.as_dict() for core in self.cores],
+            "memory": dict(self.memory_stats),
+        }
+
+
+class Stopwatch:
+    """Wall-clock stopwatch used for simulation-speed measurements."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the accumulated elapsed time."""
+        if self._start is not None:
+            self.elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self.elapsed

@@ -1,0 +1,26 @@
+"""Interval simulation — the paper's primary contribution.
+
+This package contains the analytical core timing model: the instruction
+window (:mod:`repro.core.window`), the old-window critical-path estimator
+(:mod:`repro.core.old_window`), the per-core interval model
+(:mod:`repro.core.interval_core`), the multi-core interval simulator
+(:mod:`repro.core.interval_sim`), and the naive one-IPC baseline model the
+paper positions itself against (:mod:`repro.core.oneipc`).
+"""
+
+from .interval_core import IntervalCore
+from .interval_sim import IntervalSimulator
+from .old_window import OldWindow, OldWindowEntry
+from .oneipc import OneIPCCore, OneIPCSimulator
+from .window import InstructionWindow, WindowEntry
+
+__all__ = [
+    "IntervalCore",
+    "IntervalSimulator",
+    "OldWindow",
+    "OldWindowEntry",
+    "OneIPCCore",
+    "OneIPCSimulator",
+    "InstructionWindow",
+    "WindowEntry",
+]

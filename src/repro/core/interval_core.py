@@ -1,0 +1,415 @@
+"""Per-core interval analysis — the analytical core timing model.
+
+This module implements the per-core part of the paper's Figure-3 pseudocode.
+Instead of tracking every instruction through pipeline stages, the model
+considers the instruction at the window head and classifies it:
+
+* **I-cache / I-TLB miss** — add the miss latency to the per-core simulated
+  time (unless the access was already performed underneath an earlier
+  long-latency load, i.e. ``I_overlapped``);
+* **branch misprediction** — add the branch resolution time (estimated from
+  the old window's dependence chains) plus the front-end pipeline depth;
+* **long-latency load** (last-level cache miss, coherence miss or D-TLB
+  miss) — add the miss latency, and scan the window for independent miss
+  events hidden underneath the load (second-order overlap effects);
+* **serializing instruction** — add the window drain time;
+* otherwise — dispatch at the effective dispatch rate derived from the old
+  window's critical path.
+
+Every miss event empties the old window, modeling the interval-length effect.
+Synchronization pseudo-instructions (barriers, locks) are interpreted through
+the shared :class:`~repro.multicore.sync.SynchronizationManager`; a core that
+must wait simply stalls for the cycle, so inter-thread timing emerges from
+the interleaving of per-core simulated times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..branch import BranchPredictor
+from ..common.config import MachineConfig
+from ..common.isa import Instruction, InstructionClass, SyncKind
+from ..common.stats import CoreStats
+from ..memory.hierarchy import AccessResult, MemoryHierarchy
+from ..multicore.simulator import CoreModel
+from ..multicore.sync import SynchronizationManager
+from ..trace.stream import TraceCursor
+from .old_window import OldWindow
+from .window import InstructionWindow, WindowEntry
+
+__all__ = ["IntervalCore"]
+
+
+class IntervalCore(CoreModel):
+    """Interval-analysis timing model of one out-of-order core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: MachineConfig,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        stats: CoreStats,
+        sync: Optional[SynchronizationManager] = None,
+        use_old_window: bool = True,
+        model_overlap: bool = True,
+    ) -> None:
+        super().__init__(core_id, stats)
+        self.config = config
+        self.core_config = config.core
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.sync = sync
+        self.window = InstructionWindow(config.core.rob_entries)
+        self.old_window = OldWindow(
+            capacity=config.core.rob_entries,
+            dispatch_width=config.core.dispatch_width,
+        )
+        self._cursor: Optional[TraceCursor] = None
+        self._thread_id: Optional[int] = None
+        self._waiting_barrier: Optional[int] = None
+        self._dispatch_credit = 0.0
+        # Ablation switches (both on for the paper's full model):
+        # use_old_window=False disables the old-window estimates (fixed
+        # dispatch rate, zero branch resolution time), reverting to the prior
+        # state of the art the paper improves on; model_overlap=False
+        # disables the second-order overlap scan underneath long-latency
+        # loads.
+        self.use_old_window = use_old_window
+        self.model_overlap = model_overlap
+
+    # -- CoreModel interface -----------------------------------------------------
+
+    def bind_thread(self, cursor: TraceCursor, thread_id: int) -> None:
+        """Attach a software thread's instruction stream to this core."""
+        self._cursor = cursor
+        self._thread_id = thread_id
+        self._fill_window()
+
+    def simulate_cycle(self, multi_core_time: int) -> None:
+        """Simulate one cycle of this core (Figure 3, lines 5–68)."""
+        if self.finished or self._cursor is None:
+            return
+        if self.sim_time != multi_core_time:
+            return
+
+        self._fill_window()
+        if self.window.is_empty:
+            self._finish()
+            return
+
+        instructions_dispatched = 0
+        while (
+            self.sim_time == multi_core_time
+            and instructions_dispatched < self._effective_dispatch_rate()
+        ):
+            entry = self.window.head()
+            if entry is None:
+                self._finish()
+                return
+            instruction = entry.instruction
+
+            if instruction.is_sync:
+                if not self._handle_sync(instruction):
+                    # Blocked at a barrier or contended lock: the core stalls
+                    # this cycle; it will retry once global time catches up.
+                    self.stats.sync_stall_cycles += 1
+                    break
+                self._dispatch(entry, latency=1)
+                instructions_dispatched += 1
+                continue
+
+            effective_latency = self._handle_instruction(entry)
+            self._dispatch(entry, latency=effective_latency)
+            instructions_dispatched += 1
+
+        # Figure 3 lines 67–68: if no miss event advanced the per-core time,
+        # the core consumed exactly one cycle.
+        if self.sim_time == multi_core_time:
+            self.sim_time += 1
+
+    # -- dispatch bookkeeping ------------------------------------------------------
+
+    def _effective_dispatch_rate(self) -> float:
+        """Effective dispatch rate for the current cycle.
+
+        The full model derives it from the old window's critical path via
+        Little's law; with the old window disabled (ablation) the designed
+        dispatch width is used, as simple simulators commonly assume.
+        """
+        if not self.use_old_window:
+            return float(self.core_config.dispatch_width)
+        return self.old_window.effective_dispatch_rate(self.core_config.rob_entries)
+
+    def _branch_resolution_time(self, instruction: Instruction, latency: int) -> float:
+        """Branch resolution time estimate (zero when the old window is off)."""
+        if not self.use_old_window:
+            return float(latency)
+        return self.old_window.branch_resolution_time(instruction, branch_latency=latency)
+
+    def _window_drain_time(self) -> float:
+        """Window drain time estimate for serializing instructions."""
+        if not self.use_old_window:
+            return len(self.window) / self.core_config.dispatch_width
+        return self.old_window.window_drain_time()
+
+    def _dispatch(self, entry: WindowEntry, latency: int) -> None:
+        """Remove the head entry, insert it in the old window, refill the tail."""
+        self.window.pop_head()
+        instruction = entry.instruction
+        if not instruction.is_sync:
+            self.old_window.insert(instruction, latency)
+        self.stats.instructions += 1
+        self._fill_window()
+        if self.window.is_empty and self._cursor is not None and self._cursor.exhausted:
+            self._finish()
+
+    def _fill_window(self) -> None:
+        """Feed instructions from the functional stream into the window tail."""
+        cursor = self._cursor
+        if cursor is None:
+            return
+        while not self.window.is_full and not cursor.exhausted:
+            instruction = cursor.next()
+            assert instruction is not None
+            self.window.push_tail(instruction)
+
+    def _finish(self) -> None:
+        """Record completion of this core's trace."""
+        if self.finished:
+            return
+        self.finished = True
+        self.stats.cycles = self.sim_time
+        # The CPI-stack base component is whatever is not attributed to a
+        # miss-event class: cycles spent dispatching at the effective rate.
+        attributed = (
+            self.stats.icache_penalty_cycles
+            + self.stats.branch_penalty_cycles
+            + self.stats.long_load_penalty_cycles
+            + self.stats.serializing_penalty_cycles
+            + self.stats.sync_stall_cycles
+        )
+        self.stats.base_cycles = max(0, self.stats.cycles - attributed)
+        if self.sync is not None and self._thread_id is not None:
+            self.sync.thread_finished(self._thread_id)
+
+    # -- miss-event handling (Figure 3 lines 11–59) -----------------------------------
+
+    def _handle_instruction(self, entry: WindowEntry) -> int:
+        """Handle the instruction at the window head; returns its latency.
+
+        The returned latency is what the old window records for the
+        instruction: its execution latency including any L1 data-cache miss
+        latency, but excluding long-latency misses which are charged as
+        separate miss events.
+        """
+        instruction = entry.instruction
+        latency = instruction.base_latency(self.core_config.execution_latencies)
+
+        # -- I-cache and I-TLB (lines 12–18) --
+        if not entry.i_overlapped:
+            result = self.hierarchy.instruction_access(
+                self.core_id, instruction.pc, now=self.sim_time
+            )
+            if result.l1_miss or result.tlb_miss:
+                if result.l1_miss:
+                    self.stats.icache_misses += 1
+                if result.tlb_miss:
+                    self.stats.itlb_misses += 1
+                self.sim_time += result.penalty
+                self.stats.icache_penalty_cycles += result.penalty
+                self.old_window.empty()
+
+        # -- branch prediction (lines 21–28) --
+        if instruction.is_branch and not entry.br_overlapped:
+            self.stats.branch_lookups += 1
+            correct = self.predictor.access(instruction)
+            if not correct:
+                self.stats.branch_mispredictions += 1
+                resolution = self._branch_resolution_time(instruction, latency)
+                penalty = int(round(resolution)) + self.core_config.frontend_pipeline_depth
+                self.sim_time += penalty
+                self.stats.branch_penalty_cycles += penalty
+                self.old_window.empty()
+
+        # -- loads and stores (lines 31–53) --
+        if instruction.is_store or (instruction.is_load and not entry.d_overlapped):
+            assert instruction.mem_addr is not None
+            result = self.hierarchy.data_access(
+                self.core_id,
+                instruction.mem_addr,
+                is_write=instruction.is_store,
+                now=self.sim_time,
+            )
+            self.stats.dcache_accesses += 1
+            if result.l1_miss:
+                self.stats.l1d_misses += 1
+            if result.tlb_miss:
+                self.stats.dtlb_misses += 1
+            if instruction.is_store:
+                self.stats.committed_stores += 1
+                # Stores retire through the store buffer; they do not stall
+                # dispatch in the interval model.
+            else:
+                self.stats.committed_loads += 1
+                if result.long_latency:
+                    self.stats.long_latency_loads += 1
+                    # Second-order effects: resolve independent miss events
+                    # hidden underneath the long-latency load.
+                    if self.model_overlap:
+                        self._scan_window_under_long_latency_load(instruction)
+                    self.sim_time += result.penalty
+                    self.stats.long_load_penalty_cycles += result.penalty
+                    self.old_window.empty()
+                else:
+                    # L1 miss served by the L2: fold the latency into the
+                    # instruction's execution latency so the critical path
+                    # (and hence the effective dispatch rate) reflects it.
+                    latency += result.penalty
+
+        # -- serializing instructions (lines 56–59) --
+        if instruction.is_serializing:
+            self.stats.serializing_instructions += 1
+            drain = int(round(self._window_drain_time()))
+            self.sim_time += drain
+            self.stats.serializing_penalty_cycles += drain
+            self.old_window.empty()
+
+        return latency
+
+    def _scan_window_under_long_latency_load(self, load: Instruction) -> None:
+        """Scan the window for miss events overlapped by a long-latency load.
+
+        Implements Figure 3 lines 35–49.  Every instruction in the window is
+        fetched (I-cache/I-TLB access) underneath the load; independent
+        branches and loads are resolved underneath it as well and marked as
+        overlapped so they incur no penalty when they reach the window head.
+        The scan stops at a hidden branch misprediction (subsequent window
+        contents would be wrong-path) or at a serializing instruction.
+        """
+        tainted_registers: Set[int] = set()
+        tainted_lines: Set[int] = set()
+        if load.dst_reg is not None:
+            tainted_registers.add(load.dst_reg)
+
+        for entry in self.window.entries_after_head():
+            instruction = entry.instruction
+            if instruction.is_sync:
+                break
+
+            # Line 36: the I-cache/I-TLB access happens underneath the load.
+            if not entry.i_overlapped:
+                entry.i_overlapped = True
+                self.hierarchy.instruction_access(
+                    self.core_id, instruction.pc, now=self.sim_time
+                )
+                self.stats.overlapped_icache_accesses += 1
+
+            dependent = self._depends_on_tainted(
+                instruction, tainted_registers, tainted_lines
+            )
+
+            if instruction.is_branch and not dependent and not entry.br_overlapped:
+                entry.br_overlapped = True
+                self.stats.branch_lookups += 1
+                self.stats.overlapped_branches += 1
+                correct = self.predictor.access(instruction)
+                if not correct:
+                    # A hidden misprediction: later window contents are
+                    # wrong-path, stop scanning (line 40).
+                    self.stats.branch_mispredictions += 1
+                    break
+
+            if instruction.is_load and not dependent and not entry.d_overlapped:
+                entry.d_overlapped = True
+                self.stats.overlapped_loads += 1
+                assert instruction.mem_addr is not None
+                result = self.hierarchy.data_access(
+                    self.core_id,
+                    instruction.mem_addr,
+                    is_write=False,
+                    now=self.sim_time,
+                )
+                self.stats.dcache_accesses += 1
+                if result.l1_miss:
+                    self.stats.l1d_misses += 1
+                if result.tlb_miss:
+                    self.stats.dtlb_misses += 1
+                if result.long_latency:
+                    # Memory-level parallelism: the independent long-latency
+                    # load overlaps with the one at the head, so it incurs no
+                    # additional penalty.
+                    self.stats.long_latency_loads += 1
+
+            if instruction.is_serializing:
+                break
+
+            if dependent:
+                if instruction.dst_reg is not None:
+                    tainted_registers.add(instruction.dst_reg)
+                if instruction.is_store and instruction.mem_addr is not None:
+                    tainted_lines.add(instruction.mem_addr >> 6)
+
+    @staticmethod
+    def _depends_on_tainted(
+        instruction: Instruction,
+        tainted_registers: Set[int],
+        tainted_lines: Set[int],
+    ) -> bool:
+        """Direct or transitive dependence on the long-latency load.
+
+        Taint propagates through destination registers and through memory via
+        stores to tainted cache lines, matching the paper's definition of
+        independence ("no direct or indirect dependences through registers or
+        memory").
+        """
+        for register in instruction.src_regs:
+            if register in tainted_registers:
+                return True
+        if (
+            instruction.is_load
+            and instruction.mem_addr is not None
+            and (instruction.mem_addr >> 6) in tainted_lines
+        ):
+            return True
+        return False
+
+    # -- synchronization -----------------------------------------------------------
+
+    def _handle_sync(self, instruction: Instruction) -> bool:
+        """Interpret a synchronization pseudo-instruction.
+
+        Returns ``True`` when the instruction completes (and may be
+        dispatched), ``False`` when the core must stall this cycle.
+        """
+        if self.sync is None or self._thread_id is None:
+            return True
+        kind = instruction.sync
+        if kind == SyncKind.BARRIER:
+            if self._waiting_barrier != instruction.sync_object:
+                self.sync.barrier_arrive(self._thread_id, instruction.sync_object)
+                self._waiting_barrier = instruction.sync_object
+                self.stats.barrier_waits += 1
+            if self.sync.barrier_released(instruction.sync_object):
+                self._waiting_barrier = None
+                return True
+            return False
+        if kind == SyncKind.LOCK_ACQUIRE:
+            acquired = self.sync.lock_try_acquire(
+                self._thread_id, instruction.sync_object
+            )
+            if acquired:
+                self.stats.lock_acquisitions += 1
+                return True
+            self.stats.lock_contended += 1
+            return False
+        if kind == SyncKind.LOCK_RELEASE:
+            # Only release locks this thread actually holds; a mismatched
+            # release can occur when functional warm-up skipped the matching
+            # acquire and is simply ignored.
+            if self.sync.lock_holder(instruction.sync_object) == self._thread_id:
+                self.sync.lock_release(self._thread_id, instruction.sync_object)
+            return True
+        # Other sync kinds (spawn/join) are treated as no-ops by the timing model.
+        return True

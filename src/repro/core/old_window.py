@@ -1,0 +1,193 @@
+"""The 'old window' — critical-path estimation for interval analysis.
+
+Section 3.2 of the paper introduces the *old window approach*: instructions
+leaving the instruction window are inserted into an "old window" that is used
+to estimate, online, three quantities the analytical model needs:
+
+* the **critical path length** through the most recently dispatched
+  instructions, which via Little's law yields the *effective dispatch rate*
+  (``window size / critical path``, capped by the designed dispatch width);
+* the **branch resolution time** — "the longest chain of dependent
+  instructions (including their execution latencies) leading to the
+  mispredicted branch, starting from the head pointer in the old window";
+* the **window drain time** upon a serializing instruction — "the maximum of
+  (i) the number of instructions in the old window divided by the processor's
+  dispatch width, and (ii) the length of the critical execution path in the
+  old window".
+
+The critical path itself is approximated exactly as the paper describes: each
+inserted instruction gets an *issue time* equal to the maximum issue time of
+its producers plus its own execution latency; the old window keeps a running
+*head time* and *tail time*, and the critical path is ``tail time − head
+time``.  The old window is emptied at every miss event to model the
+interval-length effect (short intervals → short dependence chains).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..common.isa import Instruction
+
+__all__ = ["OldWindowEntry", "OldWindow"]
+
+
+class OldWindowEntry:
+    """Bookkeeping for one instruction in the old window."""
+
+    __slots__ = ("instruction", "issue_time", "latency")
+
+    def __init__(self, instruction: Instruction, issue_time: float, latency: int) -> None:
+        self.instruction = instruction
+        self.issue_time = issue_time
+        self.latency = latency
+
+
+class OldWindow:
+    """Dataflow-based critical-path tracker for dispatched instructions.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of instructions retained; equal to the reorder-buffer
+        size of the modeled core.
+    dispatch_width:
+        The core's designed dispatch width, used for the window-drain-time
+        bound.
+    """
+
+    def __init__(self, capacity: int, dispatch_width: int) -> None:
+        if capacity <= 0:
+            raise ValueError("old window capacity must be positive")
+        if dispatch_width <= 0:
+            raise ValueError("dispatch width must be positive")
+        self.capacity = capacity
+        self.dispatch_width = dispatch_width
+        self._entries: Deque[OldWindowEntry] = deque()
+        self._head_time = 0.0
+        self._tail_time = 0.0
+        # Producer tables: architectural register -> issue time of its last
+        # writer; cache-line address -> issue time of the last store to it.
+        self._register_ready: Dict[int, float] = {}
+        self._store_ready: Dict[int, float] = {}
+
+    # -- properties ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def head_time(self) -> float:
+        """Issue time of the logical head of the old window."""
+        return self._head_time
+
+    @property
+    def tail_time(self) -> float:
+        """Issue time of the most recently inserted instruction."""
+        return self._tail_time
+
+    @property
+    def critical_path_length(self) -> float:
+        """Approximate critical path length: tail time minus head time."""
+        return max(0.0, self._tail_time - self._head_time)
+
+    # -- the analytical quantities ---------------------------------------------------
+
+    def effective_dispatch_rate(self, window_size: int) -> float:
+        """Effective dispatch rate via Little's law.
+
+        ``min(dispatch_width, window_size / critical_path)`` — the processor
+        cannot stream instructions faster than the critical path through the
+        window allows.
+        """
+        critical_path = self.critical_path_length
+        if critical_path <= 0.0:
+            return float(self.dispatch_width)
+        return min(float(self.dispatch_width), window_size / critical_path)
+
+    def dependence_ready_time(self, instruction: Instruction) -> float:
+        """Earliest time the operands of ``instruction`` are available."""
+        ready = self._head_time
+        for register in instruction.src_regs:
+            producer_time = self._register_ready.get(register)
+            if producer_time is not None and producer_time > ready:
+                ready = producer_time
+        if instruction.is_memory and instruction.mem_addr is not None:
+            line = instruction.mem_addr >> 6
+            store_time = self._store_ready.get(line)
+            if store_time is not None and store_time > ready:
+                ready = store_time
+        return ready
+
+    def branch_resolution_time(self, branch: Instruction, branch_latency: int = 1) -> float:
+        """Time to resolve a mispredicted branch.
+
+        The longest chain of dependent instructions leading to the branch,
+        measured from the old-window head, plus the branch's own execution
+        latency.
+        """
+        ready = self.dependence_ready_time(branch)
+        return max(0.0, ready - self._head_time) + branch_latency
+
+    def window_drain_time(self) -> float:
+        """Cycles needed to drain the old window before a serializing instruction."""
+        dispatch_bound = len(self._entries) / self.dispatch_width
+        return max(dispatch_bound, self.critical_path_length)
+
+    # -- insertion / maintenance -------------------------------------------------------
+
+    def insert(self, instruction: Instruction, latency: int) -> float:
+        """Insert a dispatched instruction and return its computed issue time.
+
+        ``latency`` is the instruction's execution latency *including* any L1
+        data-cache miss latency (but excluding long-latency misses, which are
+        handled as separate miss events by the interval model).
+        """
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        ready = self.dependence_ready_time(instruction)
+        issue_time = ready + latency
+        entry = OldWindowEntry(instruction, issue_time, latency)
+        self._entries.append(entry)
+
+        # New tail time: maximum of previous tail time and this issue time.
+        if issue_time > self._tail_time:
+            self._tail_time = issue_time
+
+        # Update producer tables.
+        if instruction.dst_reg is not None:
+            self._register_ready[instruction.dst_reg] = issue_time
+        if instruction.is_store and instruction.mem_addr is not None:
+            self._store_ready[instruction.mem_addr >> 6] = issue_time
+            if len(self._store_ready) > 4 * self.capacity:
+                self._trim_store_table()
+
+        # Bound the old window at its capacity: removing the oldest entry
+        # advances the head time ("the new head time is the maximum of the
+        # previous head time and the issue time of the removed instruction").
+        if len(self._entries) > self.capacity:
+            removed = self._entries.popleft()
+            if removed.issue_time > self._head_time:
+                self._head_time = removed.issue_time
+        return issue_time
+
+    def empty(self) -> None:
+        """Empty the old window (called at every miss event).
+
+        Emptying models the interval-length effect: dependence chains do not
+        extend across miss events, so short intervals yield short branch
+        resolution times and window drain times.
+        """
+        self._entries.clear()
+        self._register_ready.clear()
+        self._store_ready.clear()
+        self._head_time = 0.0
+        self._tail_time = 0.0
+
+    def _trim_store_table(self) -> None:
+        """Keep the store producer table from growing without bound."""
+        # Drop the oldest half (dict preserves insertion order).
+        keep = len(self._store_ready) // 2
+        for key in list(self._store_ready.keys())[:keep]:
+            del self._store_ready[key]

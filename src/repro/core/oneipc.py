@@ -1,0 +1,181 @@
+"""One-IPC core model — the simplistic baseline the paper argues against.
+
+Section 6 of the paper notes that, to sidestep slow detailed simulation, "a
+common assumption is to assume that all cores execute one instruction per
+cycle (i.e., a non-memory IPC equal to one)" and positions interval
+simulation as an "easy-to-implement, fast and more accurate alternative for
+the one-IPC performance model".
+
+:class:`OneIPCCore` implements exactly that baseline: every non-memory
+instruction takes one cycle; memory accesses and branch mispredictions add
+their miss penalties (determined by the same branch-predictor and
+memory-hierarchy simulators the other models use).  Having the baseline in
+the package lets the ablation benchmarks quantify how much accuracy interval
+analysis adds over the naive model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..branch import BranchPredictor
+from ..common.config import MachineConfig
+from ..common.isa import Instruction, SyncKind
+from ..common.stats import CoreStats
+from ..memory.hierarchy import MemoryHierarchy
+from ..multicore.simulator import CoreModel, MulticoreSimulator
+from ..multicore.sync import SynchronizationManager
+from ..trace.stream import TraceCursor
+
+__all__ = ["OneIPCCore", "OneIPCSimulator"]
+
+
+class OneIPCCore(CoreModel):
+    """A core that commits one instruction per cycle plus miss penalties."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: MachineConfig,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        stats: CoreStats,
+        sync: Optional[SynchronizationManager] = None,
+    ) -> None:
+        super().__init__(core_id, stats)
+        self.config = config
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.sync = sync
+        self._cursor: Optional[TraceCursor] = None
+        self._thread_id: Optional[int] = None
+        self._waiting_barrier: Optional[int] = None
+
+    def bind_thread(self, cursor: TraceCursor, thread_id: int) -> None:
+        """Attach a software thread's instruction stream to this core."""
+        self._cursor = cursor
+        self._thread_id = thread_id
+
+    def simulate_cycle(self, multi_core_time: int) -> None:
+        """Execute one instruction (or stall on synchronization)."""
+        if self.finished or self._cursor is None:
+            return
+        if self.sim_time != multi_core_time:
+            return
+        instruction = self._cursor.peek()
+        if instruction is None:
+            self._finish()
+            return
+
+        if instruction.is_sync:
+            if not self._handle_sync(instruction):
+                self.stats.sync_stall_cycles += 1
+                self.sim_time += 1
+                return
+            self._cursor.next()
+            self.stats.instructions += 1
+            self.sim_time += 1
+            return
+
+        self._cursor.next()
+        self.stats.instructions += 1
+        penalty = 0
+
+        result = self.hierarchy.instruction_access(
+            self.core_id, instruction.pc, now=self.sim_time
+        )
+        if result.l1_miss or result.tlb_miss:
+            penalty += result.penalty
+            if result.l1_miss:
+                self.stats.icache_misses += 1
+            if result.tlb_miss:
+                self.stats.itlb_misses += 1
+
+        if instruction.is_branch:
+            self.stats.branch_lookups += 1
+            if not self.predictor.access(instruction):
+                self.stats.branch_mispredictions += 1
+                penalty += self.config.core.frontend_pipeline_depth
+
+        if instruction.is_memory:
+            assert instruction.mem_addr is not None
+            access = self.hierarchy.data_access(
+                self.core_id,
+                instruction.mem_addr,
+                is_write=instruction.is_store,
+                now=self.sim_time,
+            )
+            self.stats.dcache_accesses += 1
+            if access.l1_miss:
+                self.stats.l1d_misses += 1
+            if access.tlb_miss:
+                self.stats.dtlb_misses += 1
+            if instruction.is_load:
+                self.stats.committed_loads += 1
+                penalty += access.penalty
+                if access.long_latency:
+                    self.stats.long_latency_loads += 1
+            else:
+                self.stats.committed_stores += 1
+
+        self.sim_time += 1 + penalty
+        if self._cursor.exhausted:
+            self._finish()
+
+    def _handle_sync(self, instruction: Instruction) -> bool:
+        """Interpret a synchronization pseudo-instruction (same as interval)."""
+        if self.sync is None or self._thread_id is None:
+            return True
+        if instruction.sync == SyncKind.BARRIER:
+            if self._waiting_barrier != instruction.sync_object:
+                self.sync.barrier_arrive(self._thread_id, instruction.sync_object)
+                self._waiting_barrier = instruction.sync_object
+                self.stats.barrier_waits += 1
+            if self.sync.barrier_released(instruction.sync_object):
+                self._waiting_barrier = None
+                return True
+            return False
+        if instruction.sync == SyncKind.LOCK_ACQUIRE:
+            if self.sync.lock_try_acquire(self._thread_id, instruction.sync_object):
+                self.stats.lock_acquisitions += 1
+                return True
+            self.stats.lock_contended += 1
+            return False
+        if instruction.sync == SyncKind.LOCK_RELEASE:
+            if self.sync.lock_holder(instruction.sync_object) == self._thread_id:
+                self.sync.lock_release(self._thread_id, instruction.sync_object)
+            return True
+        return True
+
+    def _finish(self) -> None:
+        """Record completion of this core's trace."""
+        if self.finished:
+            return
+        self.finished = True
+        self.stats.cycles = self.sim_time
+        if self.sync is not None and self._thread_id is not None:
+            self.sync.thread_finished(self._thread_id)
+
+
+class OneIPCSimulator(MulticoreSimulator):
+    """Multi-core simulator built from :class:`OneIPCCore` models."""
+
+    name = "oneipc"
+
+    def _create_core(
+        self,
+        core_id: int,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        stats: CoreStats,
+        sync: Optional[SynchronizationManager],
+    ) -> CoreModel:
+        """Build a :class:`OneIPCCore` for ``core_id``."""
+        return OneIPCCore(
+            core_id=core_id,
+            config=self.config,
+            hierarchy=hierarchy,
+            predictor=predictor,
+            stats=stats,
+            sync=sync,
+        )

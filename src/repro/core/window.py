@@ -1,0 +1,113 @@
+"""The per-core instruction window of the interval simulator.
+
+"The simulator maintains a 'window' of instructions for each simulated core
+[...].  This window of instructions corresponds to the reorder buffer of a
+superscalar out-of-order processor, and is used to determine miss events that
+are overlapped by long-latency load misses.  The functional simulator feeds
+instructions into this window at the window tail.  Core-level progress (i.e.,
+timing simulation) is derived by considering the instruction at the window
+head." (paper, Section 3.1)
+
+Each entry carries the instruction plus the three overlap flags of the
+pseudocode in Figure 3 (``I_overlapped``, ``br_overlapped``, ``D_overlapped``)
+which mark structure accesses already performed — and therefore already
+accounted for — underneath an earlier long-latency load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from ..common.isa import Instruction
+
+__all__ = ["WindowEntry", "InstructionWindow"]
+
+
+class WindowEntry:
+    """One window slot: an instruction plus its overlap flags."""
+
+    __slots__ = ("instruction", "i_overlapped", "br_overlapped", "d_overlapped")
+
+    def __init__(self, instruction: Instruction) -> None:
+        self.instruction = instruction
+        self.i_overlapped = False
+        self.br_overlapped = False
+        self.d_overlapped = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        flags = "".join(
+            flag if value else "-"
+            for flag, value in (
+                ("I", self.i_overlapped),
+                ("B", self.br_overlapped),
+                ("D", self.d_overlapped),
+            )
+        )
+        return f"WindowEntry({self.instruction!r}, overlaps={flags})"
+
+
+class InstructionWindow:
+    """A bounded FIFO of in-flight instructions (the ROB analogue).
+
+    The window is filled at the tail from the functional instruction stream
+    and drained at the head by the interval model.  Its capacity equals the
+    reorder-buffer size of the modeled core.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("window capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[WindowEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[WindowEntry]:
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """``True`` when no more instructions can enter at the tail."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the window holds no instructions."""
+        return not self._entries
+
+    def head(self) -> Optional[WindowEntry]:
+        """The entry at the window head (next to be handled), or ``None``."""
+        if not self._entries:
+            return None
+        return self._entries[0]
+
+    def push_tail(self, instruction: Instruction) -> WindowEntry:
+        """Insert a new instruction at the window tail."""
+        if self.is_full:
+            raise OverflowError("instruction window is full")
+        entry = WindowEntry(instruction)
+        self._entries.append(entry)
+        return entry
+
+    def pop_head(self) -> WindowEntry:
+        """Remove and return the entry at the window head."""
+        if not self._entries:
+            raise IndexError("instruction window is empty")
+        return self._entries.popleft()
+
+    def entries_after_head(self) -> Iterator[WindowEntry]:
+        """Iterate over entries from just after the head to the tail.
+
+        Used by the overlap scan: upon a long-latency load at the head, the
+        model walks the remaining window contents to find independent miss
+        events hidden underneath the load.
+        """
+        iterator = iter(self._entries)
+        next(iterator, None)  # skip the head
+        return iterator
+
+    def clear(self) -> None:
+        """Remove every entry (used when a core finishes its trace)."""
+        self._entries.clear()

@@ -1,0 +1,29 @@
+"""Detailed cycle-level out-of-order core simulation (the accuracy reference).
+
+This package is the reproduction's counterpart of the M5 out-of-order CPU
+model: a from-scratch cycle-level core (front end, ROB, issue queue, LSQ,
+store buffer, functional units) used as the reference against which interval
+simulation's accuracy and speed are evaluated.
+"""
+
+from .detailed_sim import DetailedSimulator
+from .frontend import FrontEnd
+from .ooo_core import DetailedCore
+from .structures import (
+    FunctionalUnitPool,
+    LoadStoreQueue,
+    ReorderBuffer,
+    RobEntry,
+    StoreBuffer,
+)
+
+__all__ = [
+    "DetailedSimulator",
+    "FrontEnd",
+    "DetailedCore",
+    "FunctionalUnitPool",
+    "LoadStoreQueue",
+    "ReorderBuffer",
+    "RobEntry",
+    "StoreBuffer",
+]

@@ -1,0 +1,45 @@
+"""The detailed multi-core simulator (cycle-accurate reference).
+
+:class:`DetailedSimulator` plugs the cycle-level out-of-order core model
+(:class:`~repro.detailed.ooo_core.DetailedCore`) into the shared multi-core
+driver.  It is the accuracy reference every figure of the paper compares
+interval simulation against, and the baseline for the simulation-speed
+measurements of Figures 9 and 10.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..branch import BranchPredictor
+from ..common.stats import CoreStats
+from ..memory.hierarchy import MemoryHierarchy
+from ..multicore.simulator import CoreModel, MulticoreSimulator
+from ..multicore.sync import SynchronizationManager
+from .ooo_core import DetailedCore
+
+__all__ = ["DetailedSimulator"]
+
+
+class DetailedSimulator(MulticoreSimulator):
+    """Multi-core simulator whose cores are cycle-level out-of-order models."""
+
+    name = "detailed"
+
+    def _create_core(
+        self,
+        core_id: int,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        stats: CoreStats,
+        sync: Optional[SynchronizationManager],
+    ) -> CoreModel:
+        """Build a :class:`DetailedCore` for ``core_id``."""
+        return DetailedCore(
+            core_id=core_id,
+            config=self.config,
+            hierarchy=hierarchy,
+            predictor=predictor,
+            stats=stats,
+            sync=sync,
+        )

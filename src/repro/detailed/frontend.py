@@ -1,0 +1,160 @@
+"""Front-end (fetch/decode/rename) model of the detailed core.
+
+The Table-1 baseline has an 8-wide fetch, a 16-entry fetch queue and a
+7-stage front-end pipeline.  The front-end model:
+
+* fetches up to ``fetch_width`` instructions per cycle from the functional
+  instruction stream into the fetch queue, as long as fetch is not stalled;
+* charges instruction-cache and I-TLB misses by blocking fetch for the miss
+  latency;
+* consults the branch predictor at fetch; a mispredicted branch stops fetch
+  (the detailed simulator is trace-driven, so no wrong-path instructions are
+  fetched — instead fetch resumes, after the front-end refill delay, once the
+  branch has executed), mirroring the penalty structure interval analysis
+  assumes (branch resolution time + front-end pipeline depth);
+* delivers instructions to dispatch only after they have spent
+  ``frontend_pipeline_depth`` cycles in the front end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..branch import BranchPredictor
+from ..common.config import CoreConfig
+from ..common.stats import CoreStats
+from ..memory.hierarchy import MemoryHierarchy
+from ..trace.stream import TraceCursor
+
+__all__ = ["FrontEnd"]
+
+
+class FrontEnd:
+    """Fetch engine plus front-end pipeline delay."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        stats: CoreStats,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.stats = stats
+        self._cursor: Optional[TraceCursor] = None
+        # Entries are (instruction, cycle at which dispatch may consume it,
+        # predicted_correctly flag for branches).
+        self._queue: Deque[Tuple[object, int, bool]] = deque()
+        # The buffer models the fetch queue plus the instructions held in the
+        # front-end pipeline stages themselves; without the pipeline-register
+        # capacity the 7-cycle front end could never sustain the dispatch
+        # width (Little's law: depth x width instructions must be in flight).
+        self._capacity = (
+            config.fetch_queue_entries
+            + config.frontend_pipeline_depth * config.dispatch_width
+        )
+        self._fetch_ready_cycle = 0
+        self._redirect_pending = False
+
+    def bind(self, cursor: TraceCursor) -> None:
+        """Attach the functional instruction stream."""
+        self._cursor = cursor
+
+    # -- state queries -------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Number of instructions buffered in the front end."""
+        return len(self._queue)
+
+    @property
+    def exhausted(self) -> bool:
+        """``True`` when the stream is consumed and the queue has drained."""
+        return (
+            self._cursor is not None
+            and self._cursor.exhausted
+            and not self._queue
+        )
+
+    @property
+    def stalled_on_branch(self) -> bool:
+        """``True`` while fetch waits for a mispredicted branch to resolve."""
+        return self._redirect_pending
+
+    # -- per-cycle operation ----------------------------------------------------------
+
+    def fetch_cycle(self, cycle: int) -> None:
+        """Fetch up to ``fetch_width`` instructions in ``cycle``."""
+        if self._cursor is None or self._redirect_pending:
+            return
+        if cycle < self._fetch_ready_cycle:
+            return
+        fetched = 0
+        while (
+            fetched < self.config.fetch_width
+            and len(self._queue) < self._capacity
+            and not self._cursor.exhausted
+        ):
+            instruction = self._cursor.peek()
+            assert instruction is not None
+
+            # Instruction cache / I-TLB access at fetch.
+            result = self.hierarchy.instruction_access(
+                self.core_id, instruction.pc, now=cycle
+            )
+            if result.l1_miss or result.tlb_miss:
+                if result.l1_miss:
+                    self.stats.icache_misses += 1
+                if result.tlb_miss:
+                    self.stats.itlb_misses += 1
+                # Fetch of this instruction (and everything after it) is
+                # delayed by the miss; retry once the line has arrived.
+                self._fetch_ready_cycle = cycle + result.penalty
+                break
+
+            self._cursor.next()
+            predicted_correctly = True
+            if instruction.is_branch:
+                self.stats.branch_lookups += 1
+                predicted_correctly = self.predictor.access(instruction)
+                if not predicted_correctly:
+                    self.stats.branch_mispredictions += 1
+
+            dispatch_ready = cycle + self.config.frontend_pipeline_depth
+            self._queue.append((instruction, dispatch_ready, predicted_correctly))
+            fetched += 1
+
+            if instruction.is_branch and not predicted_correctly:
+                # Stop fetching until the branch resolves at execute.
+                self._redirect_pending = True
+                break
+
+    def peek_dispatchable(self, cycle: int):
+        """Return the oldest instruction ready for dispatch in ``cycle``."""
+        if not self._queue:
+            return None
+        instruction, dispatch_ready, predicted_correctly = self._queue[0]
+        if dispatch_ready > cycle:
+            return None
+        return instruction, predicted_correctly
+
+    def pop_dispatchable(self) -> None:
+        """Consume the instruction returned by :meth:`peek_dispatchable`."""
+        self._queue.popleft()
+
+    def redirect_resolved(self, cycle: int) -> None:
+        """Resume fetch after a mispredicted branch executed at ``cycle``.
+
+        The front end restarts on the correct path; the refill delay is
+        captured by the ``frontend_pipeline_depth`` applied to newly fetched
+        instructions.
+        """
+        if not self._redirect_pending:
+            return
+        self._redirect_pending = False
+        self._fetch_ready_cycle = max(self._fetch_ready_cycle, cycle + 1)

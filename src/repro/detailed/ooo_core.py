@@ -1,0 +1,336 @@
+"""Detailed cycle-level out-of-order core model.
+
+This is the reproduction's stand-in for the M5 out-of-order CPU model the
+paper uses as its cycle-accurate reference.  Unlike the interval model it
+tracks every instruction through the machine cycle by cycle:
+
+* the :class:`~repro.detailed.frontend.FrontEnd` fetches from the functional
+  stream, charges I-cache/I-TLB misses and branch-misprediction redirects,
+  and imposes the front-end pipeline delay;
+* dispatch moves instructions into the reorder buffer / issue queue /
+  load-store queue, stalling when any of those resources is exhausted;
+* issue selects up to ``issue_width`` ready instructions per cycle, subject
+  to functional-unit availability; loads access the shared memory hierarchy
+  at issue and observe the full miss latency;
+* commit retires up to ``commit_width`` completed instructions per cycle in
+  program order; stores drain through the store buffer to the memory system.
+
+The same branch predictor and memory hierarchy objects as the interval
+simulator are used, so both simulators observe identical miss events — the
+difference is purely in how core-level timing is derived, which is exactly
+the comparison the paper makes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from ..branch import BranchPredictor
+from ..common.config import MachineConfig
+from ..common.isa import Instruction, InstructionClass, SyncKind
+from ..common.stats import CoreStats
+from ..memory.hierarchy import MemoryHierarchy
+from ..multicore.simulator import CoreModel
+from ..multicore.sync import SynchronizationManager
+from ..trace.stream import TraceCursor
+from .frontend import FrontEnd
+from .structures import (
+    FunctionalUnitPool,
+    LoadStoreQueue,
+    ReorderBuffer,
+    RobEntry,
+    StoreBuffer,
+)
+
+__all__ = ["DetailedCore"]
+
+
+class DetailedCore(CoreModel):
+    """Cycle-level out-of-order core (the detailed reference model)."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: MachineConfig,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        stats: CoreStats,
+        sync: Optional[SynchronizationManager] = None,
+    ) -> None:
+        super().__init__(core_id, stats)
+        self.config = config
+        self.core_config = config.core
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.sync = sync
+        self.frontend = FrontEnd(core_id, config.core, hierarchy, predictor, stats)
+        self.rob = ReorderBuffer(config.core.rob_entries)
+        self.lsq = LoadStoreQueue(config.core.load_store_queue_entries)
+        self.store_buffer = StoreBuffer(config.core.store_buffer_entries)
+        self.fu_pool = FunctionalUnitPool(config.core)
+        self._thread_id: Optional[int] = None
+        self._register_producers: Dict[int, RobEntry] = {}
+        self._unissued_count = 0
+        self._serializing_in_flight: Optional[RobEntry] = None
+        self._waiting_barrier: Optional[int] = None
+        self._completion_heap: List[int] = []
+        self._issue_scan_needed = True
+
+    # -- CoreModel interface -----------------------------------------------------
+
+    def bind_thread(self, cursor: TraceCursor, thread_id: int) -> None:
+        """Attach a software thread's instruction stream to this core."""
+        self.frontend.bind(cursor)
+        self._cursor = cursor  # kept for the has_thread property
+        self._thread_id = thread_id
+
+    def simulate_cycle(self, multi_core_time: int) -> None:
+        """Simulate one clock cycle: commit, issue, dispatch, fetch."""
+        if self.finished:
+            return
+        if self.sim_time != multi_core_time:
+            return
+        now = self.sim_time
+
+        self._commit_stage(now)
+        self._issue_stage(now)
+        self._dispatch_stage(now)
+        self.frontend.fetch_cycle(now)
+
+        self.sim_time = now + 1
+
+        if self.frontend.exhausted and self.rob.is_empty:
+            self._finish()
+
+    # -- commit ---------------------------------------------------------------------
+
+    def _commit_stage(self, now: int) -> None:
+        """Retire up to ``commit_width`` completed instructions in order."""
+        committed = 0
+        while committed < self.core_config.commit_width:
+            entry = self.rob.head()
+            if (
+                entry is None
+                or not entry.issued
+                or entry.complete_cycle is None
+                or entry.complete_cycle > now
+            ):
+                break
+            instruction = entry.instruction
+            if instruction.is_store:
+                if self.store_buffer.is_full(now):
+                    break
+                # The store's memory access happens as it drains from the
+                # store buffer; the access updates the caches and coherence
+                # state shared with the other cores.
+                result = self.hierarchy.data_access(
+                    self.core_id, instruction.mem_addr or 0, is_write=True, now=now
+                )
+                self.stats.dcache_accesses += 1
+                if result.l1_miss:
+                    self.stats.l1d_misses += 1
+                if result.tlb_miss:
+                    self.stats.dtlb_misses += 1
+                self.store_buffer.push(now + result.total_latency)
+                self.stats.committed_stores += 1
+            self.rob.pop_head()
+            if instruction.is_memory:
+                self.lsq.release()
+            if instruction.is_load:
+                self.stats.committed_loads += 1
+            if self._serializing_in_flight is entry:
+                self._serializing_in_flight = None
+            if self._register_producers.get(instruction.dst_reg) is entry:
+                # The committed value now lives in the architectural register
+                # file; later consumers are trivially ready.
+                del self._register_producers[instruction.dst_reg]
+            self.stats.instructions += 1
+            committed += 1
+
+    # -- issue ----------------------------------------------------------------------
+
+    def _issue_stage(self, now: int) -> None:
+        """Issue up to ``issue_width`` ready instructions to functional units."""
+        # Wake up on completions: if nothing completed and nothing was
+        # dispatched since the last unsuccessful scan, the ready set cannot
+        # have changed, so the scan can be skipped (keeps the detailed model
+        # from wasting host time during long memory stalls).
+        woke_up = False
+        while self._completion_heap and self._completion_heap[0] <= now:
+            heapq.heappop(self._completion_heap)
+            woke_up = True
+        if woke_up:
+            self._issue_scan_needed = True
+        if not self._issue_scan_needed:
+            return
+
+        issued = 0
+        blocked_by_resources = False
+        for entry in self.rob.unissued_entries():
+            if issued >= self.core_config.issue_width:
+                blocked_by_resources = True
+                break
+            if not self._operands_ready(entry, now):
+                continue
+            if not self.fu_pool.try_acquire(entry.instruction.klass, now):
+                blocked_by_resources = True
+                continue
+            self._issue_entry(entry, now)
+            issued += 1
+
+        self._issue_scan_needed = issued > 0 or blocked_by_resources
+
+    def _operands_ready(self, entry: RobEntry, now: int) -> bool:
+        """Check whether all of an entry's producers have produced their value."""
+        if entry.ready_cycle > now:
+            return False
+        for producer in entry.producers:
+            if not producer.issued:
+                return False
+            if producer.complete_cycle is None or producer.complete_cycle > now:
+                return False
+        return True
+
+    def _issue_entry(self, entry: RobEntry, now: int) -> None:
+        """Issue one instruction: access memory if needed, schedule completion."""
+        instruction = entry.instruction
+        latency = instruction.base_latency(self.core_config.execution_latencies)
+
+        if instruction.is_load:
+            assert instruction.mem_addr is not None
+            result = self.hierarchy.data_access(
+                self.core_id, instruction.mem_addr, is_write=False, now=now
+            )
+            self.stats.dcache_accesses += 1
+            if result.l1_miss:
+                self.stats.l1d_misses += 1
+            if result.tlb_miss:
+                self.stats.dtlb_misses += 1
+            if result.long_latency:
+                self.stats.long_latency_loads += 1
+            latency = max(latency, result.total_latency)
+            entry.memory_penalty = result.penalty
+        elif instruction.is_store:
+            # Address generation only; the write happens at commit.
+            latency = 1
+
+        entry.issued = True
+        entry.issue_cycle = now
+        entry.complete_cycle = now + max(1, latency)
+        heapq.heappush(self._completion_heap, entry.complete_cycle)
+        self._unissued_count -= 1
+
+        if entry.mispredicted:
+            # Fetch resumes on the correct path once the branch has executed;
+            # the front-end refill delay applies to the newly fetched
+            # instructions.
+            self.frontend.redirect_resolved(entry.complete_cycle)
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def _dispatch_stage(self, now: int) -> None:
+        """Move up to ``dispatch_width`` instructions into the back end."""
+        dispatched = 0
+        while dispatched < self.core_config.dispatch_width:
+            if self.rob.is_full:
+                self.stats.dispatch_stall_cycles += 1
+                break
+            if self._unissued_count >= self.core_config.issue_queue_entries:
+                self.stats.dispatch_stall_cycles += 1
+                break
+            if self._serializing_in_flight is not None:
+                break
+            peeked = self.frontend.peek_dispatchable(now)
+            if peeked is None:
+                break
+            instruction, predicted_correctly = peeked
+
+            if instruction.is_sync:
+                if not self.rob.is_empty:
+                    break
+                if not self._handle_sync(instruction):
+                    self.stats.sync_stall_cycles += 1
+                    break
+                self.frontend.pop_dispatchable()
+                self.stats.instructions += 1
+                dispatched += 1
+                continue
+
+            if instruction.is_serializing and not self.rob.is_empty:
+                # Serializing instructions wait for the window to drain.
+                break
+            if instruction.is_memory and self.lsq.is_full:
+                self.stats.dispatch_stall_cycles += 1
+                break
+
+            self.frontend.pop_dispatchable()
+            entry = self._allocate_entry(instruction, now)
+            entry.mispredicted = instruction.is_branch and not predicted_correctly
+            if instruction.is_serializing:
+                self._serializing_in_flight = entry
+                self.stats.serializing_instructions += 1
+            dispatched += 1
+        self._issue_scan_needed = self._issue_scan_needed or dispatched > 0
+
+    def _allocate_entry(self, instruction: Instruction, now: int) -> RobEntry:
+        """Create a ROB entry, snapshot its producers, allocate resources."""
+        producers = []
+        for register in instruction.src_regs:
+            producer = self._register_producers.get(register)
+            if producer is not None and not (
+                producer.issued
+                and producer.complete_cycle is not None
+                and producer.complete_cycle <= now
+            ):
+                producers.append(producer)
+        entry = RobEntry(instruction, dispatch_cycle=now, ready_cycle=now + 1)
+        entry.producers = producers
+        self.rob.append(entry)
+        self._unissued_count += 1
+        if instruction.is_memory:
+            self.lsq.allocate()
+        if instruction.dst_reg is not None:
+            self._register_producers[instruction.dst_reg] = entry
+        return entry
+
+    # -- synchronization -------------------------------------------------------------
+
+    def _handle_sync(self, instruction: Instruction) -> bool:
+        """Interpret a synchronization pseudo-instruction at dispatch."""
+        if self.sync is None or self._thread_id is None:
+            return True
+        kind = instruction.sync
+        if kind == SyncKind.BARRIER:
+            if self._waiting_barrier != instruction.sync_object:
+                self.sync.barrier_arrive(self._thread_id, instruction.sync_object)
+                self._waiting_barrier = instruction.sync_object
+                self.stats.barrier_waits += 1
+            if self.sync.barrier_released(instruction.sync_object):
+                self._waiting_barrier = None
+                return True
+            return False
+        if kind == SyncKind.LOCK_ACQUIRE:
+            if self.sync.lock_try_acquire(self._thread_id, instruction.sync_object):
+                self.stats.lock_acquisitions += 1
+                return True
+            self.stats.lock_contended += 1
+            return False
+        if kind == SyncKind.LOCK_RELEASE:
+            # Ignore releases of locks this thread does not hold (the
+            # matching acquire may have fallen into the warm-up prefix).
+            if self.sync.lock_holder(instruction.sync_object) == self._thread_id:
+                self.sync.lock_release(self._thread_id, instruction.sync_object)
+            return True
+        return True
+
+    # -- completion -----------------------------------------------------------------
+
+    def _finish(self) -> None:
+        """Record completion of this core's trace."""
+        if self.finished:
+            return
+        self.finished = True
+        self.stats.cycles = self.sim_time
+        if self.sync is not None and self._thread_id is not None:
+            self.sync.thread_finished(self._thread_id)

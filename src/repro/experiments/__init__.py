@@ -1,0 +1,66 @@
+"""Experiment harness: one driver per table/figure of the paper's evaluation.
+
+Every driver accepts an :class:`~repro.experiments.runner.ExperimentConfig`
+so the same code can run a scaled-down version (used by the test-suite and
+the pytest-benchmark targets) or a larger, more faithful budget (used for
+EXPERIMENTS.md).  The mapping between drivers and paper artifacts is listed
+in DESIGN.md §4.
+"""
+
+from .ablation import (
+    AblationPoint,
+    AblationResult,
+    run_old_window_ablation,
+    run_overlap_ablation,
+)
+from .figure4 import SUB_EXPERIMENTS, Figure4Result, run_figure4, run_sub_experiment
+from .figure5 import Figure5Result, run_figure5
+from .figure6 import Figure6Result, MultiProgramPoint, run_figure6
+from .figure7 import Figure7Result, ScalingPoint, run_figure7
+from .figure8 import CaseStudyPoint, Figure8Result, run_figure8
+from .runner import (
+    ComparisonResult,
+    ExperimentConfig,
+    compare_simulators,
+    render_table,
+    run_detailed,
+    run_interval,
+)
+from .speedup import (
+    SpeedupPoint,
+    SpeedupResult,
+    run_figure10_parsec_speedup,
+    run_figure9_spec_speedup,
+)
+
+__all__ = [
+    "AblationPoint",
+    "AblationResult",
+    "run_old_window_ablation",
+    "run_overlap_ablation",
+    "SUB_EXPERIMENTS",
+    "Figure4Result",
+    "run_figure4",
+    "run_sub_experiment",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "MultiProgramPoint",
+    "run_figure6",
+    "Figure7Result",
+    "ScalingPoint",
+    "run_figure7",
+    "CaseStudyPoint",
+    "Figure8Result",
+    "run_figure8",
+    "ComparisonResult",
+    "ExperimentConfig",
+    "compare_simulators",
+    "render_table",
+    "run_detailed",
+    "run_interval",
+    "SpeedupPoint",
+    "SpeedupResult",
+    "run_figure10_parsec_speedup",
+    "run_figure9_spec_speedup",
+]

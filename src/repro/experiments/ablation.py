@@ -1,0 +1,179 @@
+"""Ablation studies of the interval model's design choices.
+
+The paper lists its modeling contributions explicitly (Section 1):
+
+* (i) modeling of overlapping miss events underneath long-latency loads
+  (second-order effects);
+* (iii) the 'old window approach' for estimating the branch resolution time,
+  window drain time and effective dispatch rate online.
+
+These ablations quantify what each mechanism buys: the interval simulator is
+run with the mechanism enabled and disabled, and the resulting IPC error
+against the detailed reference is compared.  Disabling the old window falls
+back to dispatching at the designed width with a zero branch-resolution
+estimate (what a naive simulator would do); disabling overlap modeling
+charges every long-latency load in full even when it would be hidden under
+an earlier miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..common.config import default_machine_config
+from ..common.metrics import percentage_error
+from ..trace.profiles import spec_benchmark_names
+from ..trace.workloads import single_threaded_workload
+from .runner import ExperimentConfig, render_table, run_detailed, run_interval
+
+__all__ = ["AblationPoint", "AblationResult", "run_old_window_ablation", "run_overlap_ablation"]
+
+
+#: Benchmarks with significant memory-level parallelism — the overlap
+#: mechanism matters most for these.
+MEMORY_INTENSIVE_BENCHMARKS: Sequence[str] = (
+    "mcf",
+    "art",
+    "swim",
+    "equake",
+    "lucas",
+    "facerec",
+    "mgrid",
+    "applu",
+)
+
+
+@dataclass
+class AblationPoint:
+    """IPC of the full and ablated interval model versus detailed, per benchmark."""
+
+    benchmark: str
+    detailed_ipc: float
+    full_ipc: float
+    ablated_ipc: float
+
+    @property
+    def full_error_percent(self) -> float:
+        """Absolute IPC error of the full interval model."""
+        return abs(percentage_error(self.full_ipc, self.detailed_ipc))
+
+    @property
+    def ablated_error_percent(self) -> float:
+        """Absolute IPC error of the ablated interval model."""
+        return abs(percentage_error(self.ablated_ipc, self.detailed_ipc))
+
+    @property
+    def error_increase_percent(self) -> float:
+        """How much the error grows when the mechanism is disabled."""
+        return self.ablated_error_percent - self.full_error_percent
+
+
+@dataclass
+class AblationResult:
+    """All points of one ablation study."""
+
+    name: str
+    points: List[AblationPoint] = field(default_factory=list)
+
+    @property
+    def average_full_error(self) -> float:
+        """Mean absolute error of the full model."""
+        return sum(p.full_error_percent for p in self.points) / len(self.points)
+
+    @property
+    def average_ablated_error(self) -> float:
+        """Mean absolute error of the ablated model."""
+        return sum(p.ablated_error_percent for p in self.points) / len(self.points)
+
+    def render(self) -> str:
+        """Plain-text rendering of the per-benchmark error comparison."""
+        rows = [
+            (
+                p.benchmark,
+                p.detailed_ipc,
+                p.full_ipc,
+                p.ablated_ipc,
+                p.full_error_percent,
+                p.ablated_error_percent,
+            )
+            for p in self.points
+        ]
+        title = (
+            f"Ablation: {self.name} — avg error {self.average_full_error:.1f}% (full) vs "
+            f"{self.average_ablated_error:.1f}% (ablated)"
+        )
+        return render_table(
+            ["benchmark", "detailed IPC", "full IPC", "ablated IPC", "full err %", "ablated err %"],
+            rows,
+            title=title,
+        )
+
+
+def _run_ablation(
+    name: str,
+    benchmarks: Sequence[str],
+    config: ExperimentConfig,
+    use_old_window: bool,
+    model_overlap: bool,
+) -> AblationResult:
+    """Shared driver: full model vs one ablated configuration."""
+    machine = default_machine_config(num_cores=1)
+    result = AblationResult(name=name)
+    for benchmark in benchmarks:
+        workload = single_threaded_workload(
+            benchmark, instructions=config.instructions, seed=config.seed
+        )
+        detailed_stats = run_detailed(machine, workload, config)
+        full_stats = run_interval(machine, workload, config)
+        ablated_stats = run_interval(
+            machine,
+            workload,
+            config,
+            use_old_window=use_old_window,
+            model_overlap=model_overlap,
+        )
+        result.points.append(
+            AblationPoint(
+                benchmark=benchmark,
+                detailed_ipc=detailed_stats.aggregate_ipc,
+                full_ipc=full_stats.aggregate_ipc,
+                ablated_ipc=ablated_stats.aggregate_ipc,
+            )
+        )
+    return result
+
+
+def run_old_window_ablation(config: ExperimentConfig | None = None) -> AblationResult:
+    """Disable the old-window estimates (fixed dispatch rate, no resolution time)."""
+    config = config or ExperimentConfig()
+    benchmarks = config.select(spec_benchmark_names())
+    return _run_ablation(
+        "old window (dispatch rate / branch resolution / drain time estimation)",
+        benchmarks,
+        config,
+        use_old_window=False,
+        model_overlap=True,
+    )
+
+
+def run_overlap_ablation(config: ExperimentConfig | None = None) -> AblationResult:
+    """Disable second-order overlap modeling underneath long-latency loads."""
+    config = config or ExperimentConfig()
+    # Restrict to memory-intensive benchmarks; a user-supplied subset further
+    # narrows (rather than replaces) that list.
+    benchmarks = [
+        name
+        for name in spec_benchmark_names()
+        if name in MEMORY_INTENSIVE_BENCHMARKS
+        and (config.benchmarks is None or name in set(config.benchmarks))
+    ]
+    if not benchmarks:
+        benchmarks = list(MEMORY_INTENSIVE_BENCHMARKS)
+    return _run_ablation(
+        "overlap of miss events underneath long-latency loads",
+        benchmarks,
+        config,
+        use_old_window=True,
+        model_overlap=False,
+    )

@@ -1,0 +1,103 @@
+"""Figure 4 — step-by-step accuracy evaluation of the interval model.
+
+The paper isolates the individual components of interval simulation by
+idealizing everything else (Section 5.1):
+
+* (a) **Effective dispatch rate** — perfect branch predictor, I-cache/I-TLB
+  and L2; only the L1 D-cache is non-perfect.
+* (b) **I-cache/TLB** — only the instruction cache and I-TLB are non-perfect.
+* (c) **Branch prediction** — all caches perfect, only the branch predictor
+  is non-perfect.
+* (d) **L2 cache** — perfect branch predictor and instruction side; the L1
+  D-cache and L2 are non-perfect.
+
+Each sub-experiment compares the IPC estimated by interval simulation against
+the detailed reference for every SPEC CPU2000 stand-in benchmark, reporting
+the per-benchmark IPC pair and the average error (the paper reports 1.8%,
+1.8%, 3.8% and 4.6% for the four sub-experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..common.config import PerfectStructures, default_machine_config
+from ..common.metrics import ErrorSummary, summarize_errors
+from ..trace.profiles import spec_benchmark_names
+from ..trace.workloads import single_threaded_workload
+from .runner import ComparisonResult, ExperimentConfig, compare_simulators, render_table
+
+__all__ = ["SUB_EXPERIMENTS", "Figure4Result", "run_figure4", "run_sub_experiment"]
+
+
+#: The four idealization settings of Figure 4, in the paper's order.
+SUB_EXPERIMENTS: Dict[str, PerfectStructures] = {
+    "dispatch_rate": PerfectStructures.dispatch_rate_study(),
+    "icache": PerfectStructures.icache_study(),
+    "branch": PerfectStructures.branch_study(),
+    "l2": PerfectStructures.l2_study(),
+}
+
+
+@dataclass
+class Figure4Result:
+    """Results of one or more Figure-4 sub-experiments."""
+
+    sub_experiments: Dict[str, List[ComparisonResult]] = field(default_factory=dict)
+
+    def error_summary(self, sub_experiment: str) -> ErrorSummary:
+        """Average/maximum IPC error of one sub-experiment."""
+        results = self.sub_experiments[sub_experiment]
+        estimates = {r.name: r.interval_ipc for r in results}
+        references = {r.name: r.detailed_ipc for r in results}
+        return summarize_errors(estimates, references)
+
+    def render(self) -> str:
+        """Plain-text rendering of every sub-experiment (paper-style rows)."""
+        blocks = []
+        for name, results in self.sub_experiments.items():
+            rows = [
+                (r.name, r.detailed_ipc, r.interval_ipc, r.ipc_error_percent)
+                for r in results
+            ]
+            summary = self.error_summary(name)
+            table = render_table(
+                ["benchmark", "detailed IPC", "interval IPC", "error %"],
+                rows,
+                title=f"Figure 4({name}): {summary}",
+            )
+            blocks.append(table)
+        return "\n\n".join(blocks)
+
+
+def run_sub_experiment(
+    name: str, config: ExperimentConfig | None = None
+) -> List[ComparisonResult]:
+    """Run one Figure-4 sub-experiment across the benchmark list."""
+    if name not in SUB_EXPERIMENTS:
+        raise KeyError(f"unknown sub-experiment {name!r}; known: {list(SUB_EXPERIMENTS)}")
+    config = config or ExperimentConfig()
+    machine = default_machine_config(num_cores=1).with_perfect(SUB_EXPERIMENTS[name])
+    results = []
+    for benchmark in config.select(spec_benchmark_names()):
+        workload = single_threaded_workload(
+            benchmark, instructions=config.instructions, seed=config.seed
+        )
+        results.append(
+            compare_simulators(machine, workload, config, label=f"fig4-{name}")
+        )
+    return results
+
+
+def run_figure4(
+    config: ExperimentConfig | None = None,
+    sub_experiments: List[str] | None = None,
+) -> Figure4Result:
+    """Run the Figure-4 study (all four sub-experiments by default)."""
+    config = config or ExperimentConfig()
+    names = sub_experiments or list(SUB_EXPERIMENTS)
+    result = Figure4Result()
+    for name in names:
+        result.sub_experiments[name] = run_sub_experiment(name, config)
+    return result

@@ -1,0 +1,64 @@
+"""Figure 5 — single-threaded accuracy with every structure non-perfect.
+
+"Putting everything together, the average error for the single-threaded
+benchmarks equals 5.9%; the maximum is bounded to 15.5%." (paper, §5.1)
+
+This driver runs every SPEC CPU2000 stand-in benchmark on the Table-1
+single-core machine, with the branch predictor and the full memory hierarchy
+simulated, and compares the IPC estimated by interval simulation against the
+detailed reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..common.config import default_machine_config
+from ..common.metrics import ErrorSummary, summarize_errors
+from ..trace.profiles import spec_benchmark_names
+from ..trace.workloads import single_threaded_workload
+from .runner import ComparisonResult, ExperimentConfig, compare_simulators, render_table
+
+__all__ = ["Figure5Result", "run_figure5"]
+
+
+@dataclass
+class Figure5Result:
+    """Per-benchmark IPC comparison for the full single-threaded study."""
+
+    results: List[ComparisonResult] = field(default_factory=list)
+
+    @property
+    def error_summary(self) -> ErrorSummary:
+        """Average and maximum IPC error across the benchmark set."""
+        estimates = {r.name: r.interval_ipc for r in self.results}
+        references = {r.name: r.detailed_ipc for r in self.results}
+        return summarize_errors(estimates, references)
+
+    def render(self) -> str:
+        """Plain-text rendering of the per-benchmark IPC comparison."""
+        rows = [
+            (r.name, r.detailed_ipc, r.interval_ipc, r.ipc_error_percent)
+            for r in self.results
+        ]
+        return render_table(
+            ["benchmark", "detailed IPC", "interval IPC", "error %"],
+            rows,
+            title=f"Figure 5 (single-threaded SPEC CPU): {self.error_summary}",
+        )
+
+
+def run_figure5(config: ExperimentConfig | None = None) -> Figure5Result:
+    """Run the Figure-5 single-threaded accuracy study."""
+    config = config or ExperimentConfig()
+    machine = default_machine_config(num_cores=1)
+    result = Figure5Result()
+    for benchmark in config.select(spec_benchmark_names()):
+        workload = single_threaded_workload(
+            benchmark, instructions=config.instructions, seed=config.seed
+        )
+        result.results.append(
+            compare_simulators(machine, workload, config, label="fig5")
+        )
+    return result

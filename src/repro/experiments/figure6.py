@@ -1,0 +1,186 @@
+"""Figure 6 — multi-program workloads: system throughput and turnaround time.
+
+The paper evaluates homogeneous multi-program workloads (1, 2, 4 and 8 copies
+of the same benchmark, one per core, sharing the L2 cache and off-chip
+bandwidth) generated from gcc, mcf, twolf, art and swim, and reports two
+metrics for each point:
+
+* **STP** (system throughput) — the sum of the programs' normalized progress,
+  a system-oriented metric (higher is better);
+* **ANTT** (average normalized turnaround time) — the average slowdown each
+  program experiences from co-execution, a user-oriented metric (lower is
+  better).
+
+Each metric needs both a solo run (the program running alone on a single-core
+machine) and the co-scheduled run; this driver performs both with each
+simulator and reports the per-configuration STP/ANTT pairs plus the
+interval-vs-detailed error.  The paper reports average errors of 3.8% (STP)
+and 4.2% (ANTT) with a maximum of 16%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..common.config import default_machine_config
+from ..common.metrics import (
+    average_normalized_turnaround_time,
+    percentage_error,
+    system_throughput,
+)
+from ..common.stats import SimulationStats
+from ..trace.profiles import FIGURE6_BENCHMARKS
+from ..trace.stream import Workload
+from ..trace.workloads import homogeneous_multiprogram_workload
+from .runner import ExperimentConfig, render_table, run_detailed, run_interval
+
+__all__ = ["MultiProgramPoint", "Figure6Result", "run_figure6", "DEFAULT_COPY_COUNTS"]
+
+#: Core counts evaluated in Figure 6.
+DEFAULT_COPY_COUNTS: Sequence[int] = (1, 2, 4, 8)
+
+
+@dataclass
+class MultiProgramPoint:
+    """One (benchmark, copy-count) point of Figure 6."""
+
+    benchmark: str
+    copies: int
+    interval_stp: float
+    detailed_stp: float
+    interval_antt: float
+    detailed_antt: float
+
+    @property
+    def stp_error_percent(self) -> float:
+        """Signed STP error of interval simulation versus detailed."""
+        return percentage_error(self.interval_stp, self.detailed_stp)
+
+    @property
+    def antt_error_percent(self) -> float:
+        """Signed ANTT error of interval simulation versus detailed."""
+        return percentage_error(self.interval_antt, self.detailed_antt)
+
+
+@dataclass
+class Figure6Result:
+    """All points of the multi-program study."""
+
+    points: List[MultiProgramPoint] = field(default_factory=list)
+
+    @property
+    def average_stp_error(self) -> float:
+        """Mean absolute STP error across all points."""
+        return sum(abs(p.stp_error_percent) for p in self.points) / len(self.points)
+
+    @property
+    def average_antt_error(self) -> float:
+        """Mean absolute ANTT error across all points."""
+        return sum(abs(p.antt_error_percent) for p in self.points) / len(self.points)
+
+    def for_benchmark(self, benchmark: str) -> List[MultiProgramPoint]:
+        """Points of one benchmark, ordered by copy count."""
+        return sorted(
+            (p for p in self.points if p.benchmark == benchmark),
+            key=lambda p: p.copies,
+        )
+
+    def render(self) -> str:
+        """Plain-text rendering of STP and ANTT for every point."""
+        rows = [
+            (
+                f"{p.benchmark} x{p.copies}",
+                p.detailed_stp,
+                p.interval_stp,
+                p.stp_error_percent,
+                p.detailed_antt,
+                p.interval_antt,
+                p.antt_error_percent,
+            )
+            for p in self.points
+        ]
+        title = (
+            "Figure 6 (multi-program SPEC): "
+            f"avg STP error {self.average_stp_error:.1f}%, "
+            f"avg ANTT error {self.average_antt_error:.1f}%"
+        )
+        return render_table(
+            ["workload", "det STP", "int STP", "STP err %", "det ANTT", "int ANTT", "ANTT err %"],
+            rows,
+            title=title,
+        )
+
+
+def _per_program_cycles(stats: SimulationStats, copies: int) -> List[float]:
+    """Per-program completion times (cycles) of a co-scheduled run."""
+    return [float(stats.cores[core].cycles) for core in range(copies)]
+
+
+def run_figure6(
+    config: ExperimentConfig | None = None,
+    copy_counts: Sequence[int] = DEFAULT_COPY_COUNTS,
+) -> Figure6Result:
+    """Run the Figure-6 multi-program study."""
+    config = config or ExperimentConfig()
+    result = Figure6Result()
+    max_copies = max(copy_counts)
+    for benchmark in config.select(FIGURE6_BENCHMARKS):
+        # Generate the largest workload once; smaller copy counts reuse its
+        # leading traces, and the solo (run-alone) reference of each copy is
+        # obtained by running *that exact trace* on a single-core machine —
+        # normalized progress must compare a program against itself.
+        full_workload = homogeneous_multiprogram_workload(
+            benchmark,
+            copies=max_copies,
+            instructions=config.instructions,
+            seed=config.seed,
+        )
+        solo_machine = default_machine_config(num_cores=1)
+        solo_interval_cycles: List[float] = []
+        solo_detailed_cycles: List[float] = []
+        for copy_index in range(max_copies):
+            solo_workload = Workload(
+                name=f"{benchmark}#{copy_index} alone",
+                traces=[full_workload.traces[copy_index]],
+                core_assignment=[0],
+                kind="single",
+            )
+            solo_interval_cycles.append(
+                float(run_interval(solo_machine, solo_workload, config).cores[0].cycles)
+            )
+            solo_detailed_cycles.append(
+                float(run_detailed(solo_machine, solo_workload, config).cores[0].cycles)
+            )
+
+        for copies in copy_counts:
+            machine = default_machine_config(num_cores=copies)
+            workload = Workload(
+                name=f"{benchmark} x{copies}",
+                traces=full_workload.traces[:copies],
+                core_assignment=list(range(copies)),
+                kind="multiprogram",
+            )
+            interval_stats = run_interval(machine, workload, config)
+            detailed_stats = run_detailed(machine, workload, config)
+
+            interval_multi = _per_program_cycles(interval_stats, copies)
+            detailed_multi = _per_program_cycles(detailed_stats, copies)
+            interval_single = solo_interval_cycles[:copies]
+            detailed_single = solo_detailed_cycles[:copies]
+
+            result.points.append(
+                MultiProgramPoint(
+                    benchmark=benchmark,
+                    copies=copies,
+                    interval_stp=system_throughput(interval_single, interval_multi),
+                    detailed_stp=system_throughput(detailed_single, detailed_multi),
+                    interval_antt=average_normalized_turnaround_time(
+                        interval_single, interval_multi
+                    ),
+                    detailed_antt=average_normalized_turnaround_time(
+                        detailed_single, detailed_multi
+                    ),
+                )
+            )
+    return result

@@ -1,0 +1,132 @@
+"""Figure 7 — multi-threaded PARSEC workloads: scaling with core count.
+
+The paper runs each PARSEC benchmark on 1, 2, 4 and 8 cores (full-system,
+including OS code) and plots execution time normalized to detailed
+single-core simulation.  The key observations it makes:
+
+* the average interval-vs-detailed error is 4.6% with a maximum of 11%
+  (fluidanimate);
+* the *trend* with core count is captured accurately, including benchmarks
+  whose performance does not scale (vips, due to load imbalance and poor
+  synchronization behaviour).
+
+This driver reproduces the experiment: for each benchmark and core count it
+generates a multi-threaded workload (constant total work, one thread per
+core, with barriers/locks/sharing from the profile) and reports the
+normalized execution time under both simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..common.config import default_machine_config
+from ..common.metrics import percentage_error
+from ..trace.profiles import parsec_benchmark_names
+from ..trace.workloads import multithreaded_workload
+from .runner import ExperimentConfig, render_table, run_detailed, run_interval
+
+__all__ = ["ScalingPoint", "Figure7Result", "run_figure7", "DEFAULT_CORE_COUNTS"]
+
+#: Core counts evaluated in Figure 7.
+DEFAULT_CORE_COUNTS: Sequence[int] = (1, 2, 4, 8)
+
+
+@dataclass
+class ScalingPoint:
+    """One (benchmark, core-count) point of the PARSEC scaling study."""
+
+    benchmark: str
+    cores: int
+    interval_cycles: int
+    detailed_cycles: int
+    interval_normalized: float
+    detailed_normalized: float
+
+    @property
+    def error_percent(self) -> float:
+        """Signed execution-time error of interval simulation versus detailed."""
+        return percentage_error(self.interval_cycles, self.detailed_cycles)
+
+
+@dataclass
+class Figure7Result:
+    """All points of the PARSEC scaling study."""
+
+    points: List[ScalingPoint] = field(default_factory=list)
+
+    @property
+    def average_error(self) -> float:
+        """Mean absolute execution-time error across all points."""
+        return sum(abs(p.error_percent) for p in self.points) / len(self.points)
+
+    @property
+    def maximum_error(self) -> float:
+        """Maximum absolute execution-time error across all points."""
+        return max(abs(p.error_percent) for p in self.points)
+
+    def for_benchmark(self, benchmark: str) -> List[ScalingPoint]:
+        """Points of one benchmark, ordered by core count."""
+        return sorted(
+            (p for p in self.points if p.benchmark == benchmark),
+            key=lambda p: p.cores,
+        )
+
+    def render(self) -> str:
+        """Plain-text rendering of the normalized execution times."""
+        rows = [
+            (
+                f"{p.benchmark} ({p.cores} cores)",
+                p.detailed_normalized,
+                p.interval_normalized,
+                p.error_percent,
+            )
+            for p in self.points
+        ]
+        title = (
+            "Figure 7 (PARSEC scaling): "
+            f"avg error {self.average_error:.1f}%, max {self.maximum_error:.1f}%"
+        )
+        return render_table(
+            ["workload", "detailed (norm.)", "interval (norm.)", "error %"],
+            rows,
+            title=title,
+        )
+
+
+def run_figure7(
+    config: ExperimentConfig | None = None,
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+) -> Figure7Result:
+    """Run the Figure-7 PARSEC scaling study."""
+    config = config or ExperimentConfig()
+    result = Figure7Result()
+    for benchmark in config.select(parsec_benchmark_names()):
+        baseline_detailed_cycles: float | None = None
+        for cores in core_counts:
+            machine = default_machine_config(num_cores=cores)
+            workload = multithreaded_workload(
+                benchmark,
+                num_threads=cores,
+                total_instructions=config.instructions,
+                seed=config.seed,
+            )
+            interval_stats = run_interval(machine, workload, config)
+            detailed_stats = run_detailed(machine, workload, config)
+            if baseline_detailed_cycles is None:
+                # Normalization reference: detailed single-core execution time.
+                baseline_detailed_cycles = float(detailed_stats.total_cycles)
+            result.points.append(
+                ScalingPoint(
+                    benchmark=benchmark,
+                    cores=cores,
+                    interval_cycles=interval_stats.total_cycles,
+                    detailed_cycles=detailed_stats.total_cycles,
+                    interval_normalized=interval_stats.total_cycles
+                    / baseline_detailed_cycles,
+                    detailed_normalized=detailed_stats.total_cycles
+                    / baseline_detailed_cycles,
+                )
+            )
+    return result

@@ -1,0 +1,158 @@
+"""Figure 8 — performance-trend case study: 3D-stacked DRAM trade-off.
+
+The paper's case study compares two processor architectures on the PARSEC
+benchmarks (§5.4):
+
+* a **dual-core** processor with a 4 MB L2 cache and external DRAM
+  (150-cycle latency) behind a 16-byte memory bus; and
+* a **quad-core** processor with *no* L2 cache and 3D-stacked DRAM
+  (125-cycle latency) behind a 128-byte memory bus.
+
+The point of the study is not absolute accuracy but whether interval
+simulation leads to the *same design decision* as detailed simulation for
+each benchmark: compute/bandwidth-hungry benchmarks (bodytrack, fluidanimate,
+swaptions) prefer the quad-core + 3D-DRAM design, while cache-sensitive ones
+(canneal, vips, x264) prefer the dual-core with the large L2.
+
+This driver runs both architectures under both simulators and reports, per
+benchmark, the normalized execution times and whether the two simulators
+agree on which architecture wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..common.config import dualcore_l2_config, quadcore_3d_stacked_config
+from ..common.metrics import percentage_error
+from ..trace.profiles import parsec_benchmark_names
+from ..trace.workloads import multithreaded_workload
+from .runner import ExperimentConfig, render_table, run_detailed, run_interval
+
+__all__ = ["CaseStudyPoint", "Figure8Result", "run_figure8"]
+
+
+@dataclass
+class CaseStudyPoint:
+    """Results of one benchmark under both architectures and both simulators."""
+
+    benchmark: str
+    detailed_dualcore_cycles: int
+    detailed_quadcore_cycles: int
+    interval_dualcore_cycles: int
+    interval_quadcore_cycles: int
+
+    @property
+    def detailed_quadcore_normalized(self) -> float:
+        """Quad-core execution time normalized to detailed dual-core."""
+        return self.detailed_quadcore_cycles / self.detailed_dualcore_cycles
+
+    @property
+    def interval_dualcore_normalized(self) -> float:
+        """Interval dual-core execution time normalized to detailed dual-core."""
+        return self.interval_dualcore_cycles / self.detailed_dualcore_cycles
+
+    @property
+    def interval_quadcore_normalized(self) -> float:
+        """Interval quad-core execution time normalized to detailed dual-core."""
+        return self.interval_quadcore_cycles / self.detailed_dualcore_cycles
+
+    @property
+    def detailed_prefers_quadcore(self) -> bool:
+        """Design decision according to detailed simulation."""
+        return self.detailed_quadcore_cycles < self.detailed_dualcore_cycles
+
+    @property
+    def interval_prefers_quadcore(self) -> bool:
+        """Design decision according to interval simulation."""
+        return self.interval_quadcore_cycles < self.interval_dualcore_cycles
+
+    @property
+    def decisions_agree(self) -> bool:
+        """``True`` when both simulators pick the same architecture."""
+        return self.detailed_prefers_quadcore == self.interval_prefers_quadcore
+
+
+@dataclass
+class Figure8Result:
+    """All benchmarks of the 3D-stacking case study."""
+
+    points: List[CaseStudyPoint] = field(default_factory=list)
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of benchmarks where both simulators agree on the winner."""
+        if not self.points:
+            return 0.0
+        return sum(1 for p in self.points if p.decisions_agree) / len(self.points)
+
+    def render(self) -> str:
+        """Plain-text rendering of the case-study outcome per benchmark."""
+        rows = []
+        for p in self.points:
+            rows.append(
+                (
+                    p.benchmark,
+                    1.0,
+                    p.detailed_quadcore_normalized,
+                    p.interval_dualcore_normalized,
+                    p.interval_quadcore_normalized,
+                    "4c+3D" if p.detailed_prefers_quadcore else "2c+L2",
+                    "4c+3D" if p.interval_prefers_quadcore else "2c+L2",
+                    "yes" if p.decisions_agree else "NO",
+                )
+            )
+        title = (
+            "Figure 8 (2 cores + L2 vs 4 cores + 3D-stacked DRAM): "
+            f"design decisions agree for {self.agreement_rate * 100:.0f}% of benchmarks"
+        )
+        return render_table(
+            [
+                "benchmark",
+                "det 2c+L2",
+                "det 4c+3D",
+                "int 2c+L2",
+                "int 4c+3D",
+                "det winner",
+                "int winner",
+                "agree",
+            ],
+            rows,
+            title=title,
+        )
+
+
+def run_figure8(config: ExperimentConfig | None = None) -> Figure8Result:
+    """Run the Figure-8 3D-stacking case study."""
+    config = config or ExperimentConfig()
+    dualcore = dualcore_l2_config()
+    quadcore = quadcore_3d_stacked_config()
+    result = Figure8Result()
+    for benchmark in config.select(parsec_benchmark_names()):
+        dual_workload = multithreaded_workload(
+            benchmark,
+            num_threads=dualcore.num_cores,
+            total_instructions=config.instructions,
+            seed=config.seed,
+        )
+        quad_workload = multithreaded_workload(
+            benchmark,
+            num_threads=quadcore.num_cores,
+            total_instructions=config.instructions,
+            seed=config.seed,
+        )
+        detailed_dual = run_detailed(dualcore, dual_workload, config)
+        detailed_quad = run_detailed(quadcore, quad_workload, config)
+        interval_dual = run_interval(dualcore, dual_workload, config)
+        interval_quad = run_interval(quadcore, quad_workload, config)
+        result.points.append(
+            CaseStudyPoint(
+                benchmark=benchmark,
+                detailed_dualcore_cycles=detailed_dual.total_cycles,
+                detailed_quadcore_cycles=detailed_quad.total_cycles,
+                interval_dualcore_cycles=interval_dual.total_cycles,
+                interval_quadcore_cycles=interval_quad.total_cycles,
+            )
+        )
+    return result

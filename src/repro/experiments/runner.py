@@ -1,0 +1,184 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every experiment in the paper's evaluation compares interval simulation
+against detailed cycle-level simulation on identical workloads.  This module
+provides the plumbing those drivers share:
+
+* :class:`ExperimentConfig` — the knobs every experiment accepts (instruction
+  budget per thread, functional warm-up length, benchmark subset, seed), so
+  tests and benchmark targets can run scaled-down versions of each figure
+  while examples and EXPERIMENTS.md runs use larger budgets;
+* :class:`ComparisonResult` — one workload simulated by both models;
+* :func:`compare_simulators` — run both simulators on a workload;
+* :func:`render_table` — plain-text table rendering used by the example
+  scripts and the benchmark harness to print paper-style result rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..common.config import MachineConfig
+from ..common.metrics import percentage_error
+from ..common.stats import SimulationStats
+from ..core.interval_sim import IntervalSimulator
+from ..core.oneipc import OneIPCSimulator
+from ..detailed.detailed_sim import DetailedSimulator
+from ..trace.stream import Workload
+
+__all__ = [
+    "ExperimentConfig",
+    "ComparisonResult",
+    "compare_simulators",
+    "run_interval",
+    "run_detailed",
+    "render_table",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Execution budget shared by all figure drivers.
+
+    Attributes
+    ----------
+    instructions:
+        Dynamic instructions per thread in the timed region plus warm-up
+        (i.e. the trace length requested from the generator).
+    warmup_instructions:
+        Leading instructions per thread used for functional warming only.
+    benchmarks:
+        Optional subset of benchmark names; ``None`` runs the figure's full
+        benchmark list.
+    seed:
+        Trace-generation seed.
+    max_cycles:
+        Safety bound passed to the simulators.
+    """
+
+    instructions: int = 60_000
+    warmup_instructions: int = 30_000
+    benchmarks: Optional[Sequence[str]] = None
+    seed: int = 0
+    max_cycles: Optional[int] = 200_000_000
+
+    def select(self, full_list: Sequence[str]) -> List[str]:
+        """Apply the benchmark subset filter to a figure's benchmark list."""
+        if self.benchmarks is None:
+            return list(full_list)
+        unknown = set(self.benchmarks) - set(full_list)
+        if unknown:
+            raise ValueError(f"unknown benchmarks for this figure: {sorted(unknown)}")
+        return [name for name in full_list if name in set(self.benchmarks)]
+
+
+@dataclass
+class ComparisonResult:
+    """One workload simulated by the interval and detailed models."""
+
+    name: str
+    interval: SimulationStats
+    detailed: SimulationStats
+    label: str = ""
+
+    @property
+    def interval_ipc(self) -> float:
+        """Aggregate IPC reported by interval simulation."""
+        return self.interval.aggregate_ipc
+
+    @property
+    def detailed_ipc(self) -> float:
+        """Aggregate IPC reported by detailed simulation."""
+        return self.detailed.aggregate_ipc
+
+    @property
+    def ipc_error_percent(self) -> float:
+        """Signed IPC error of interval relative to detailed (percent)."""
+        return percentage_error(self.interval_ipc, self.detailed_ipc)
+
+    @property
+    def cycles_error_percent(self) -> float:
+        """Signed execution-time error of interval relative to detailed."""
+        return percentage_error(self.interval.total_cycles, self.detailed.total_cycles)
+
+    @property
+    def simulation_speedup(self) -> float:
+        """Wall-clock speedup of interval over detailed simulation."""
+        if self.interval.wall_clock_seconds <= 0:
+            return 0.0
+        return self.detailed.wall_clock_seconds / self.interval.wall_clock_seconds
+
+
+def run_interval(
+    machine: MachineConfig,
+    workload: Workload,
+    config: ExperimentConfig,
+    use_old_window: bool = True,
+    model_overlap: bool = True,
+) -> SimulationStats:
+    """Run the interval simulator on one workload with the experiment budget."""
+    simulator = IntervalSimulator(
+        machine, use_old_window=use_old_window, model_overlap=model_overlap
+    )
+    return simulator.run(
+        workload,
+        max_cycles=config.max_cycles,
+        warmup_instructions=config.warmup_instructions,
+    )
+
+
+def run_detailed(
+    machine: MachineConfig, workload: Workload, config: ExperimentConfig
+) -> SimulationStats:
+    """Run the detailed simulator on one workload with the experiment budget."""
+    simulator = DetailedSimulator(machine)
+    return simulator.run(
+        workload,
+        max_cycles=config.max_cycles,
+        warmup_instructions=config.warmup_instructions,
+    )
+
+
+def compare_simulators(
+    machine: MachineConfig,
+    workload: Workload,
+    config: ExperimentConfig,
+    label: str = "",
+) -> ComparisonResult:
+    """Run both simulators on ``workload`` and package the comparison."""
+    interval_stats = run_interval(machine, workload, config)
+    detailed_stats = run_detailed(machine, workload, config)
+    return ComparisonResult(
+        name=workload.name,
+        interval=interval_stats,
+        detailed=detailed_stats,
+        label=label,
+    )
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a plain-text table (used by examples and benchmark output)."""
+    materialized: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    """Format one table cell: floats get three decimals, the rest ``str``."""
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,164 @@
+"""Figures 9 and 10 — simulation-speed comparison.
+
+The paper measures the wall-clock speedup of interval simulation over
+detailed cycle-level simulation: up to 15× for the multi-program SPEC
+workloads (Figure 9) and a factor 8–9× for the multi-threaded PARSEC
+workloads (Figure 10), for 1–8 core configurations.
+
+This driver measures the same quantity for this reproduction: both
+simulators run the identical workload (same traces, same memory hierarchy
+and branch predictors) and the wall-clock times of the timed simulation are
+compared.  Because both simulators here are pure Python and the detailed
+model uses event-skipping optimizations, the measured ratios are smaller
+than the paper's C++-vs-C comparison; the *shape* — interval simulation is
+consistently faster, and the gap does not collapse as the core count grows —
+is the reproduction target (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..common.config import default_machine_config
+from ..trace.profiles import parsec_benchmark_names, spec_benchmark_names
+from ..trace.workloads import homogeneous_multiprogram_workload, multithreaded_workload
+from .runner import ExperimentConfig, render_table, run_detailed, run_interval
+
+__all__ = [
+    "SpeedupPoint",
+    "SpeedupResult",
+    "run_figure9_spec_speedup",
+    "run_figure10_parsec_speedup",
+    "DEFAULT_CORE_COUNTS",
+]
+
+#: Core counts evaluated in Figures 9 and 10.
+DEFAULT_CORE_COUNTS: Sequence[int] = (1, 2, 4, 8)
+
+
+@dataclass
+class SpeedupPoint:
+    """Wall-clock comparison for one (benchmark, core count) pair."""
+
+    benchmark: str
+    cores: int
+    interval_seconds: float
+    detailed_seconds: float
+    simulated_instructions: int
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock speedup of interval over detailed simulation."""
+        if self.interval_seconds <= 0:
+            return 0.0
+        return self.detailed_seconds / self.interval_seconds
+
+    @property
+    def interval_kips(self) -> float:
+        """Interval-simulation throughput in kilo-instructions per second."""
+        if self.interval_seconds <= 0:
+            return 0.0
+        return self.simulated_instructions / self.interval_seconds / 1000.0
+
+    @property
+    def detailed_kips(self) -> float:
+        """Detailed-simulation throughput in kilo-instructions per second."""
+        if self.detailed_seconds <= 0:
+            return 0.0
+        return self.simulated_instructions / self.detailed_seconds / 1000.0
+
+
+@dataclass
+class SpeedupResult:
+    """All points of one simulation-speed figure."""
+
+    figure: str
+    points: List[SpeedupPoint] = field(default_factory=list)
+
+    @property
+    def average_speedup(self) -> float:
+        """Mean speedup across all points."""
+        return sum(p.speedup for p in self.points) / len(self.points)
+
+    def for_cores(self, cores: int) -> List[SpeedupPoint]:
+        """Points of one core count."""
+        return [p for p in self.points if p.cores == cores]
+
+    def render(self) -> str:
+        """Plain-text rendering of the speedup per benchmark and core count."""
+        rows = [
+            (
+                f"{p.benchmark} ({p.cores} cores)",
+                p.detailed_seconds,
+                p.interval_seconds,
+                p.speedup,
+                p.interval_kips,
+            )
+            for p in self.points
+        ]
+        return render_table(
+            ["workload", "detailed s", "interval s", "speedup", "interval KIPS"],
+            rows,
+            title=f"{self.figure}: average simulation speedup {self.average_speedup:.1f}x",
+        )
+
+
+def run_figure9_spec_speedup(
+    config: ExperimentConfig | None = None,
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+) -> SpeedupResult:
+    """Figure 9: speedup on (multi-programmed) SPEC CPU2000 workloads."""
+    config = config or ExperimentConfig()
+    result = SpeedupResult(figure="Figure 9 (SPEC CPU2000 simulation speedup)")
+    for benchmark in config.select(spec_benchmark_names()):
+        for cores in core_counts:
+            machine = default_machine_config(num_cores=cores)
+            workload = homogeneous_multiprogram_workload(
+                benchmark,
+                copies=cores,
+                instructions=config.instructions,
+                seed=config.seed,
+            )
+            interval_stats = run_interval(machine, workload, config)
+            detailed_stats = run_detailed(machine, workload, config)
+            result.points.append(
+                SpeedupPoint(
+                    benchmark=benchmark,
+                    cores=cores,
+                    interval_seconds=interval_stats.wall_clock_seconds,
+                    detailed_seconds=detailed_stats.wall_clock_seconds,
+                    simulated_instructions=interval_stats.total_instructions,
+                )
+            )
+    return result
+
+
+def run_figure10_parsec_speedup(
+    config: ExperimentConfig | None = None,
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+) -> SpeedupResult:
+    """Figure 10: speedup on the multi-threaded PARSEC workloads."""
+    config = config or ExperimentConfig()
+    result = SpeedupResult(figure="Figure 10 (PARSEC simulation speedup)")
+    for benchmark in config.select(parsec_benchmark_names()):
+        for cores in core_counts:
+            machine = default_machine_config(num_cores=cores)
+            workload = multithreaded_workload(
+                benchmark,
+                num_threads=cores,
+                total_instructions=config.instructions,
+                seed=config.seed,
+            )
+            interval_stats = run_interval(machine, workload, config)
+            detailed_stats = run_detailed(machine, workload, config)
+            result.points.append(
+                SpeedupPoint(
+                    benchmark=benchmark,
+                    cores=cores,
+                    interval_seconds=interval_stats.wall_clock_seconds,
+                    detailed_seconds=detailed_stats.wall_clock_seconds,
+                    simulated_instructions=interval_stats.total_instructions,
+                )
+            )
+    return result

@@ -1,0 +1,241 @@
+"""Set-associative cache model with per-line coherence state.
+
+All caches in the hierarchy (private L1 instruction/data caches and the
+shared L2) are instances of :class:`SetAssociativeCache`.  Lines carry a
+MOESI coherence state so the same structure serves both the coherent private
+data caches and the non-coherent instruction caches (which simply keep their
+lines in the Exclusive state).
+
+Replacement policy is true LRU, implemented with an ordered list per set
+(most-recently-used last); the cache sizes of Table 1 keep the per-set lists
+short (4–8 ways), so the list operations are cheap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..common.config import CacheConfig
+
+__all__ = ["CoherenceState", "CacheLine", "CacheStats", "SetAssociativeCache"]
+
+
+class CoherenceState(enum.IntEnum):
+    """MOESI coherence states (plus Invalid)."""
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    OWNED = 3
+    MODIFIED = 4
+
+    @property
+    def is_valid(self) -> bool:
+        """``True`` for any state other than Invalid."""
+        return self != CoherenceState.INVALID
+
+    @property
+    def can_supply(self) -> bool:
+        """``True`` when a cache in this state must supply data to requestors.
+
+        In MOESI, the Owned and Modified states hold the only up-to-date copy
+        (memory may be stale), so they answer snoop requests with data.
+        Exclusive may also supply (clean data) as an optimization.
+        """
+        return self in (CoherenceState.MODIFIED, CoherenceState.OWNED, CoherenceState.EXCLUSIVE)
+
+    @property
+    def is_dirty(self) -> bool:
+        """``True`` when this copy differs from memory."""
+        return self in (CoherenceState.MODIFIED, CoherenceState.OWNED)
+
+
+@dataclass
+class CacheLine:
+    """One cache line: address tag plus MOESI state."""
+
+    tag: int
+    state: CoherenceState = CoherenceState.EXCLUSIVE
+
+    @property
+    def valid(self) -> bool:
+        """``True`` unless the line is Invalid."""
+        return self.state.is_valid
+
+
+@dataclass
+class CacheStats:
+    """Per-cache access statistics."""
+
+    accesses: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    invalidations_received: int = 0
+    coherence_downgrades: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of accesses that hit."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.invalidations_received = 0
+        self.coherence_downgrades = 0
+
+
+class SetAssociativeCache:
+    """A set-associative cache with LRU replacement and MOESI line states.
+
+    The cache stores only tags and states (no data), which is all a timing
+    simulator needs.  Coherence transitions are applied by the snooping bus
+    (:mod:`repro.memory.coherence`) through :meth:`set_state`,
+    :meth:`invalidate_line` and :meth:`downgrade_line`.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache", level: int = 1) -> None:
+        self.config = config
+        self.name = name
+        self.level = level
+        self.stats = CacheStats()
+        self._offset_bits = config.line_size.bit_length() - 1
+        self._num_sets = config.num_sets
+        self._sets: List[List[CacheLine]] = [[] for _ in range(self._num_sets)]
+
+    # -- address helpers ---------------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """Return the line-aligned address containing ``address``."""
+        return address >> self._offset_bits << self._offset_bits
+
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        """Split an address into (set index, tag)."""
+        block = address >> self._offset_bits
+        return block % self._num_sets, block // self._num_sets
+
+    # -- lookup / fill -----------------------------------------------------------
+
+    def probe(self, address: int) -> Optional[CacheLine]:
+        """Look up a line without updating LRU order or statistics."""
+        index, tag = self._index_tag(address)
+        for line in self._sets[index]:
+            if line.tag == tag and line.valid:
+                return line
+        return None
+
+    def lookup(self, address: int, count_access: bool = True) -> Optional[CacheLine]:
+        """Look up a line, updating LRU order and (optionally) statistics.
+
+        Returns the :class:`CacheLine` on a hit, or ``None`` on a miss.
+        """
+        index, tag = self._index_tag(address)
+        entry_set = self._sets[index]
+        if count_access:
+            self.stats.accesses += 1
+        for position, line in enumerate(entry_set):
+            if line.tag == tag and line.valid:
+                entry_set.append(entry_set.pop(position))
+                return line
+        if count_access:
+            self.stats.misses += 1
+        return None
+
+    def fill(
+        self, address: int, state: CoherenceState = CoherenceState.EXCLUSIVE
+    ) -> Optional[CacheLine]:
+        """Insert a line after a miss; returns the evicted line, if any.
+
+        The evicted line is returned so the caller can issue a write-back when
+        it is dirty (Modified/Owned).
+        """
+        index, tag = self._index_tag(address)
+        entry_set = self._sets[index]
+        for position, line in enumerate(entry_set):
+            if line.tag == tag:
+                # Refill of an existing (possibly invalid) line.
+                line.state = state
+                entry_set.append(entry_set.pop(position))
+                return None
+        victim: Optional[CacheLine] = None
+        if len(entry_set) >= self.config.associativity:
+            # Prefer evicting an invalid line.
+            for position, line in enumerate(entry_set):
+                if not line.valid:
+                    entry_set.pop(position)
+                    break
+            else:
+                victim = entry_set.pop(0)
+                self.stats.evictions += 1
+                if victim.state.is_dirty:
+                    self.stats.writebacks += 1
+        entry_set.append(CacheLine(tag=tag, state=state))
+        return victim
+
+    # -- coherence hooks ---------------------------------------------------------
+
+    def set_state(self, address: int, state: CoherenceState) -> bool:
+        """Set the coherence state of a resident line; returns ``True`` if found."""
+        line = self.probe(address)
+        if line is None:
+            return False
+        line.state = state
+        return True
+
+    def invalidate_line(self, address: int) -> bool:
+        """Invalidate a line if present (snoop-invalidate); returns ``True`` if hit."""
+        line = self.probe(address)
+        if line is None:
+            return False
+        line.state = CoherenceState.INVALID
+        self.stats.invalidations_received += 1
+        return True
+
+    def downgrade_line(self, address: int) -> bool:
+        """Downgrade M/E → O/S on a remote read snoop; returns ``True`` if hit."""
+        line = self.probe(address)
+        if line is None or not line.valid:
+            return False
+        if line.state == CoherenceState.MODIFIED:
+            line.state = CoherenceState.OWNED
+        elif line.state == CoherenceState.EXCLUSIVE:
+            line.state = CoherenceState.SHARED
+        self.stats.coherence_downgrades += 1
+        return True
+
+    # -- inspection --------------------------------------------------------------
+
+    def resident_lines(self) -> Iterator[Tuple[int, CacheLine]]:
+        """Yield (set index, line) for every valid resident line."""
+        for index, entry_set in enumerate(self._sets):
+            for line in entry_set:
+                if line.valid:
+                    yield index, line
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(1 for _ in self.resident_lines())
+
+    def flush(self) -> None:
+        """Invalidate the entire cache (statistics are kept)."""
+        self._sets = [[] for _ in range(self._num_sets)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SetAssociativeCache(name={self.name!r}, size={self.config.size_bytes}, "
+            f"ways={self.config.associativity}, sets={self._num_sets})"
+        )

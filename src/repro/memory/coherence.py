@@ -1,0 +1,190 @@
+"""MOESI cache-coherence protocol over a snooping bus.
+
+The paper's baseline CMP keeps the per-core L1 data caches coherent with a
+MOESI protocol (Table 1).  This module implements the protocol controller:
+it owns references to every core's L1 data cache and resolves read and write
+requests by snooping the other caches, applying the MOESI state transitions
+and reporting whether the request was satisfied by a cache-to-cache transfer
+(a *coherence miss*, which the interval model treats as a long-latency event)
+and how many remote copies had to be invalidated.
+
+A simpler MESI and MSI mode are provided as well (selected through
+``MemoryConfig.coherence_protocol``) so protocol trade-offs can be explored;
+they differ only in which states are reachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .cache import CoherenceState, SetAssociativeCache
+
+__all__ = ["SnoopResult", "CoherenceStats", "CoherenceController"]
+
+
+@dataclass
+class SnoopResult:
+    """Outcome of a coherence request.
+
+    Attributes
+    ----------
+    supplied_by_cache:
+        ``True`` when another core's cache supplied the data
+        (cache-to-cache transfer).
+    supplier_core:
+        Core that supplied the data, or ``None``.
+    invalidations:
+        Number of remote copies invalidated (write requests only).
+    had_remote_sharers:
+        ``True`` when at least one other cache held the line.
+    writeback_to_memory:
+        ``True`` when a dirty remote copy had to be written back.
+    """
+
+    supplied_by_cache: bool = False
+    supplier_core: Optional[int] = None
+    invalidations: int = 0
+    had_remote_sharers: bool = False
+    writeback_to_memory: bool = False
+
+
+@dataclass
+class CoherenceStats:
+    """Protocol-level statistics."""
+
+    read_requests: int = 0
+    write_requests: int = 0
+    upgrades: int = 0
+    cache_to_cache_transfers: int = 0
+    invalidations_sent: int = 0
+    writebacks: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.read_requests = 0
+        self.write_requests = 0
+        self.upgrades = 0
+        self.cache_to_cache_transfers = 0
+        self.invalidations_sent = 0
+        self.writebacks = 0
+
+
+class CoherenceController:
+    """Snooping-bus MOESI/MESI/MSI coherence controller for the private L1Ds."""
+
+    def __init__(
+        self,
+        l1d_caches: Sequence[SetAssociativeCache],
+        protocol: str = "MOESI",
+    ) -> None:
+        if protocol not in ("MOESI", "MESI", "MSI", "NONE"):
+            raise ValueError(f"unsupported coherence protocol: {protocol!r}")
+        self._caches: List[SetAssociativeCache] = list(l1d_caches)
+        self.protocol = protocol
+        self.stats = CoherenceStats()
+
+    @property
+    def num_cores(self) -> int:
+        """Number of caches kept coherent."""
+        return len(self._caches)
+
+    # -- requests ----------------------------------------------------------------
+
+    def read_request(self, core_id: int, line_address: int) -> SnoopResult:
+        """Resolve a read miss from ``core_id`` for ``line_address``.
+
+        Snoops the other L1 data caches.  If a remote cache holds the line in
+        a state that can supply data, a cache-to-cache transfer happens and
+        the supplier is downgraded (M→O, E→S under MOESI; M→S with a memory
+        write-back under MESI/MSI).  Returns the snoop outcome; the caller
+        decides the resulting state of the requester's line
+        (:meth:`requester_read_state`).
+        """
+        self.stats.read_requests += 1
+        result = SnoopResult()
+        if self.protocol == "NONE":
+            return result
+        for remote_id, cache in enumerate(self._caches):
+            if remote_id == core_id:
+                continue
+            line = cache.probe(line_address)
+            if line is None or not line.valid:
+                continue
+            result.had_remote_sharers = True
+            if line.state.can_supply and not result.supplied_by_cache:
+                result.supplied_by_cache = True
+                result.supplier_core = remote_id
+                self.stats.cache_to_cache_transfers += 1
+                if self.protocol == "MOESI":
+                    # Dirty suppliers keep ownership (O); clean ones become S.
+                    if line.state == CoherenceState.MODIFIED:
+                        line.state = CoherenceState.OWNED
+                    elif line.state == CoherenceState.EXCLUSIVE:
+                        line.state = CoherenceState.SHARED
+                else:
+                    # MESI/MSI: dirty data is written back to memory and the
+                    # supplier keeps a Shared copy.
+                    if line.state.is_dirty:
+                        result.writeback_to_memory = True
+                        self.stats.writebacks += 1
+                    line.state = CoherenceState.SHARED
+            elif line.state == CoherenceState.EXCLUSIVE:
+                line.state = CoherenceState.SHARED
+        return result
+
+    def write_request(
+        self, core_id: int, line_address: int, already_resident: bool
+    ) -> SnoopResult:
+        """Resolve a write (store) from ``core_id`` needing ownership.
+
+        Invalidate every remote copy.  ``already_resident`` distinguishes an
+        upgrade (the requester already holds the line in S/O) from a write
+        miss; both invalidate remote sharers, but an upgrade does not need a
+        data transfer unless a remote cache held the only dirty copy.
+        """
+        self.stats.write_requests += 1
+        if already_resident:
+            self.stats.upgrades += 1
+        result = SnoopResult()
+        if self.protocol == "NONE":
+            return result
+        for remote_id, cache in enumerate(self._caches):
+            if remote_id == core_id:
+                continue
+            line = cache.probe(line_address)
+            if line is None or not line.valid:
+                continue
+            result.had_remote_sharers = True
+            if line.state.is_dirty and not result.supplied_by_cache:
+                # The remote dirty copy supplies the data to the writer.
+                result.supplied_by_cache = True
+                result.supplier_core = remote_id
+                self.stats.cache_to_cache_transfers += 1
+            cache.invalidate_line(line_address)
+            result.invalidations += 1
+            self.stats.invalidations_sent += 1
+        return result
+
+    # -- state decisions ---------------------------------------------------------
+
+    def requester_read_state(self, snoop: SnoopResult) -> CoherenceState:
+        """State the requester installs after a read, given the snoop result."""
+        if self.protocol == "NONE":
+            return CoherenceState.EXCLUSIVE
+        if snoop.had_remote_sharers:
+            return CoherenceState.SHARED
+        if self.protocol == "MSI":
+            return CoherenceState.SHARED
+        return CoherenceState.EXCLUSIVE
+
+    def requester_write_state(self) -> CoherenceState:
+        """State the requester installs after a write (always Modified)."""
+        return CoherenceState.MODIFIED
+
+    def evict_notification(self, line_state: CoherenceState) -> bool:
+        """Whether evicting a line in ``line_state`` requires a memory write-back."""
+        if line_state.is_dirty:
+            self.stats.writebacks += 1
+            return True
+        return False

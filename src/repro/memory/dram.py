@@ -1,0 +1,95 @@
+"""Main-memory (DRAM) model with finite off-chip bandwidth.
+
+Table 1 specifies a 150-cycle DRAM access time and 10.6 GB/s of peak off-chip
+bandwidth over a 16-byte memory bus.  The Figure-8 case study swaps this for
+3D-stacked DRAM with a 125-cycle latency and a 128-byte bus.
+
+The model charges every off-chip access the fixed DRAM latency plus a
+queueing delay caused by the finite bus bandwidth: each cache-line transfer
+occupies the bus for ``line_size / bytes_per_cycle`` cycles, and transfers
+are serialized in arrival order.  This is the mechanism through which
+co-running programs on a multi-core chip slow each other down via memory
+bandwidth — one of the shared-resource interactions the paper's multi-core
+evaluation exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import MemoryConfig
+
+__all__ = ["DRAMStats", "MainMemory"]
+
+
+@dataclass
+class DRAMStats:
+    """Main-memory access statistics."""
+
+    accesses: int = 0
+    total_queue_delay: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def average_queue_delay(self) -> float:
+        """Average number of cycles an access waited for the memory bus."""
+        if self.accesses == 0:
+            return 0.0
+        return self.total_queue_delay / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.total_queue_delay = 0
+        self.busy_cycles = 0
+
+
+class MainMemory:
+    """Fixed-latency DRAM behind a finite-bandwidth memory bus."""
+
+    def __init__(self, config: MemoryConfig, line_size: int = 64) -> None:
+        self.config = config
+        self.line_size = line_size
+        self.stats = DRAMStats()
+        self._bus_free_at = 0
+        self._transfer_cycles = max(
+            1, round(line_size / config.memory_bus_bytes_per_cycle)
+        )
+
+    @property
+    def transfer_cycles(self) -> int:
+        """Bus occupancy (cycles) of one cache-line transfer."""
+        return self._transfer_cycles
+
+    def access(self, now: int) -> int:
+        """Perform one line-sized access starting at cycle ``now``.
+
+        Returns the total latency of the access: queueing delay while the
+        memory bus is busy with earlier transfers, plus the fixed DRAM access
+        latency, plus the line transfer time.
+        """
+        if now < 0:
+            raise ValueError("current time must be non-negative")
+        queue_delay = max(0, self._bus_free_at - now)
+        start = now + queue_delay
+        self._bus_free_at = start + self._transfer_cycles
+        self.stats.accesses += 1
+        self.stats.total_queue_delay += queue_delay
+        self.stats.busy_cycles += self._transfer_cycles
+        return queue_delay + self.config.dram_latency + self._transfer_cycles
+
+    def peek_latency(self, now: int) -> int:
+        """Latency an access at ``now`` would see, without reserving the bus."""
+        queue_delay = max(0, self._bus_free_at - now)
+        return queue_delay + self.config.dram_latency + self._transfer_cycles
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of ``elapsed_cycles`` during which the bus was busy."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_cycles / elapsed_cycles)
+
+    def reset(self) -> None:
+        """Clear bus reservation state and statistics."""
+        self._bus_free_at = 0
+        self.stats.reset()

@@ -1,0 +1,293 @@
+"""The memory-hierarchy simulator.
+
+"The memory hierarchy simulator models the entire memory hierarchy.  This
+includes cache coherence, private (per-core) caches and TLBs, as well as the
+shared last-level caches, interconnection network, off-chip bandwidth and
+main memory.  The memory hierarchy simulator is invoked for each I-cache/TLB
+or D-cache/TLB access and returns the (miss) latency." (paper, Section 3.1)
+
+:class:`MemoryHierarchy` is that simulator.  It is shared between the
+interval simulator and the detailed reference simulator, which is exactly the
+paper's structure: the level of abstraction is raised only inside the cores;
+the memory system is simulated in the same detail for both.
+
+Every access returns an :class:`AccessResult` describing which structures
+missed and the resulting penalty; the timing models decide what to do with
+the penalty (interval analysis adds it to the per-core simulated time, the
+detailed model schedules the instruction's completion accordingly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..common.config import MachineConfig, MemoryConfig, PerfectStructures
+from .cache import CoherenceState, SetAssociativeCache
+from .coherence import CoherenceController
+from .dram import MainMemory
+from .tlb import TLB
+
+__all__ = ["AccessResult", "MemoryHierarchy"]
+
+
+#: Extra bus/interconnect cycles for a cache-to-cache transfer between cores.
+_CACHE_TO_CACHE_OVERHEAD = 8
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one instruction- or data-side memory access.
+
+    Attributes
+    ----------
+    hit_latency:
+        Cycles the access takes when it hits in the first-level structure
+        (the L1 hit latency).
+    penalty:
+        Additional cycles beyond ``hit_latency`` caused by misses anywhere in
+        the hierarchy (L1 miss, TLB walk, coherence transfer, L2 miss, DRAM
+        queueing).  The interval model adds exactly this quantity to the
+        per-core simulated time for miss events.
+    l1_miss / l2_miss / tlb_miss / coherence_miss:
+        Which structures missed.  ``l2_miss`` means the access left the chip
+        (last-level cache miss); ``coherence_miss`` means the data came from
+        another core's cache.
+    """
+
+    hit_latency: int = 1
+    penalty: int = 0
+    l1_miss: bool = False
+    l2_miss: bool = False
+    tlb_miss: bool = False
+    coherence_miss: bool = False
+
+    @property
+    def total_latency(self) -> int:
+        """Total access latency (hit latency plus miss penalty)."""
+        return self.hit_latency + self.penalty
+
+    @property
+    def is_miss(self) -> bool:
+        """``True`` when anything beyond the L1/TLB hit path was involved."""
+        return self.l1_miss or self.tlb_miss
+
+    @property
+    def long_latency(self) -> bool:
+        """Long-latency event per the paper: LLC miss or coherence miss.
+
+        Long-latency loads are the events that fill the ROB and stall
+        dispatch; D-TLB misses are treated the same way by the interval model
+        (Section 2: "a last-level L2 D-cache load miss or a D-TLB load
+        miss").
+        """
+        return self.l2_miss or self.coherence_miss or self.tlb_miss
+
+
+class MemoryHierarchy:
+    """Private L1s/TLBs per core, shared L2, MOESI coherence and DRAM.
+
+    Parameters
+    ----------
+    config:
+        The machine configuration (number of cores, cache geometries,
+        coherence protocol, DRAM/bandwidth parameters and the idealization
+        flags used by the Figure-4 study).
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        memory: MemoryConfig = config.memory
+        perfect: PerfectStructures = config.perfect
+        self._perfect = perfect
+        num_cores = config.num_cores
+
+        self.l1i: List[SetAssociativeCache] = [
+            SetAssociativeCache(memory.l1i, name=f"core{core}.l1i", level=1)
+            for core in range(num_cores)
+        ]
+        self.l1d: List[SetAssociativeCache] = [
+            SetAssociativeCache(memory.l1d, name=f"core{core}.l1d", level=1)
+            for core in range(num_cores)
+        ]
+        self.itlb: List[TLB] = [
+            TLB(memory.itlb, name=f"core{core}.itlb") for core in range(num_cores)
+        ]
+        self.dtlb: List[TLB] = [
+            TLB(memory.dtlb, name=f"core{core}.dtlb") for core in range(num_cores)
+        ]
+        self.l2: Optional[SetAssociativeCache] = (
+            SetAssociativeCache(memory.l2, name="shared.l2", level=2)
+            if memory.l2 is not None
+            else None
+        )
+        self.coherence = CoherenceController(self.l1d, memory.coherence_protocol)
+        self.dram = MainMemory(memory, line_size=memory.l1d.line_size)
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores the hierarchy serves."""
+        return len(self.l1d)
+
+    # -- instruction side ---------------------------------------------------------
+
+    def instruction_access(self, core_id: int, pc: int, now: int = 0) -> AccessResult:
+        """Access the I-TLB and L1 I-cache for a fetch at ``pc``.
+
+        Instruction lines are read-only, so no coherence actions are needed;
+        misses are served by the shared L2 and, beyond it, main memory.
+        """
+        self._check_core(core_id)
+        memory = self.config.memory
+        result = AccessResult(hit_latency=memory.l1i.hit_latency)
+
+        if not self._perfect.itlb:
+            if not self.itlb[core_id].access(pc):
+                result.tlb_miss = True
+                result.penalty += memory.itlb.miss_latency
+
+        if self._perfect.l1i:
+            return result
+
+        cache = self.l1i[core_id]
+        if cache.lookup(pc) is not None:
+            return result
+
+        result.l1_miss = True
+        result.penalty += self._fill_from_shared_levels(
+            core_id, pc, now, result, is_instruction=True
+        )
+        cache.fill(pc, CoherenceState.EXCLUSIVE)
+        return result
+
+    # -- data side ----------------------------------------------------------------
+
+    def data_access(
+        self, core_id: int, address: int, is_write: bool, now: int = 0
+    ) -> AccessResult:
+        """Access the D-TLB and L1 D-cache for a load or store.
+
+        Stores need ownership of the line (MOESI Modified state) and
+        invalidate remote copies; loads may be satisfied by a cache-to-cache
+        transfer from another core (a coherence miss, treated as a
+        long-latency event by the timing models).
+        """
+        self._check_core(core_id)
+        memory = self.config.memory
+        result = AccessResult(hit_latency=memory.l1d.hit_latency)
+
+        if not self._perfect.dtlb:
+            if not self.dtlb[core_id].access(address):
+                result.tlb_miss = True
+                result.penalty += memory.dtlb.miss_latency
+
+        if self._perfect.l1d:
+            return result
+
+        cache = self.l1d[core_id]
+        line_address = cache.line_address(address)
+        line = cache.lookup(line_address)
+
+        if line is not None:
+            if is_write and line.state in (
+                CoherenceState.SHARED,
+                CoherenceState.OWNED,
+            ):
+                # Upgrade: invalidate remote copies before writing.
+                snoop = self.coherence.write_request(
+                    core_id, line_address, already_resident=True
+                )
+                if snoop.invalidations:
+                    result.penalty += _CACHE_TO_CACHE_OVERHEAD
+                line.state = CoherenceState.MODIFIED
+            elif is_write and line.state == CoherenceState.EXCLUSIVE:
+                line.state = CoherenceState.MODIFIED
+            return result
+
+        # L1 miss: consult the coherence protocol first.
+        result.l1_miss = True
+        if is_write:
+            snoop = self.coherence.write_request(
+                core_id, line_address, already_resident=False
+            )
+            install_state = self.coherence.requester_write_state()
+        else:
+            snoop = self.coherence.read_request(core_id, line_address)
+            install_state = self.coherence.requester_read_state(snoop)
+
+        if snoop.supplied_by_cache:
+            # Cache-to-cache transfer across the on-chip interconnect.
+            result.coherence_miss = True
+            l2_latency = memory.l2.hit_latency if memory.l2 is not None else 0
+            result.penalty += l2_latency + _CACHE_TO_CACHE_OVERHEAD
+        else:
+            result.penalty += self._fill_from_shared_levels(
+                core_id, line_address, now, result, is_instruction=False
+            )
+
+        victim = cache.fill(line_address, install_state)
+        if victim is not None and victim.state.is_dirty:
+            self.coherence.evict_notification(victim.state)
+        return result
+
+    # -- shared levels -------------------------------------------------------------
+
+    def _fill_from_shared_levels(
+        self,
+        core_id: int,
+        line_address: int,
+        now: int,
+        result: AccessResult,
+        is_instruction: bool,
+    ) -> int:
+        """Look up the shared L2 and, on a miss, main memory.
+
+        Returns the penalty (cycles beyond the L1 hit latency) and updates
+        ``result.l2_miss``.  Honors the "perfect L2" idealization flag by
+        charging only the L2 hit latency and never going off-chip.
+        """
+        memory = self.config.memory
+        if self._perfect.l2:
+            return memory.l2.hit_latency if memory.l2 is not None else 0
+
+        if self.l2 is not None:
+            l2_hit = self.l2.lookup(line_address) is not None
+            if l2_hit:
+                return memory.l2.hit_latency
+            # L2 miss: go off-chip, then fill the L2.
+            result.l2_miss = True
+            dram_latency = self.dram.access(now)
+            self.l2.fill(line_address, CoherenceState.EXCLUSIVE)
+            return memory.l2.hit_latency + dram_latency
+
+        # No L2 (Figure-8 3D-stacked configuration): straight to DRAM.
+        result.l2_miss = True
+        return self.dram.access(now)
+
+    # -- bookkeeping ----------------------------------------------------------------
+
+    def _check_core(self, core_id: int) -> None:
+        """Validate a core identifier."""
+        if not 0 <= core_id < self.num_cores:
+            raise ValueError(
+                f"core_id {core_id} out of range for {self.num_cores} cores"
+            )
+
+    def collect_stats(self) -> Dict[str, int]:
+        """Aggregate hierarchy-level statistics for reporting."""
+        stats: Dict[str, int] = {
+            "l1i_accesses": sum(c.stats.accesses for c in self.l1i),
+            "l1i_misses": sum(c.stats.misses for c in self.l1i),
+            "l1d_accesses": sum(c.stats.accesses for c in self.l1d),
+            "l1d_misses": sum(c.stats.misses for c in self.l1d),
+            "itlb_misses": sum(t.stats.misses for t in self.itlb),
+            "dtlb_misses": sum(t.stats.misses for t in self.dtlb),
+            "dram_accesses": self.dram.stats.accesses,
+            "dram_queue_delay": self.dram.stats.total_queue_delay,
+            "coherence_transfers": self.coherence.stats.cache_to_cache_transfers,
+            "coherence_invalidations": self.coherence.stats.invalidations_sent,
+        }
+        if self.l2 is not None:
+            stats["l2_accesses"] = self.l2.stats.accesses
+            stats["l2_misses"] = self.l2.stats.misses
+        return stats

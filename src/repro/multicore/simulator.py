@@ -1,0 +1,287 @@
+"""Multi-core simulation driver shared by all timing models.
+
+The paper's framework (Figure 2) couples three simulators — branch predictor,
+memory hierarchy and the core timing model — around a multi-core driver that
+keeps a *multi-core simulated time* and per-core simulated times: a core is
+only simulated in cycles where its own time has caught up with the global
+time, which makes the core-level simulation event-driven.
+
+This module factors that driver out of the individual timing models:
+:class:`MulticoreSimulator` builds the shared memory hierarchy, the per-core
+branch predictors and the synchronization manager, binds workload threads to
+cores, and runs the global time loop.  Concrete simulators (interval,
+detailed, one-IPC) only provide their per-core model by implementing
+:meth:`MulticoreSimulator._create_core`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+from ..branch import BranchPredictor, create_branch_predictor
+from ..common.config import MachineConfig
+from ..common.isa import SyncKind
+from ..common.stats import CoreStats, SimulationStats, Stopwatch
+from ..memory.hierarchy import MemoryHierarchy
+from ..trace.stream import TraceCursor, Workload
+from .sync import SynchronizationManager
+
+__all__ = ["CoreModel", "MulticoreSimulator"]
+
+
+class CoreModel(abc.ABC):
+    """Interface every per-core timing model implements.
+
+    A core model owns a per-core simulated time (:attr:`sim_time`), consumes
+    one thread's instruction stream through a cursor bound with
+    :meth:`bind_thread`, and advances its state one global cycle at a time
+    through :meth:`simulate_cycle`.
+    """
+
+    def __init__(self, core_id: int, stats: CoreStats) -> None:
+        self.core_id = core_id
+        self.stats = stats
+        self.sim_time = 0
+        self.finished = False
+
+    @abc.abstractmethod
+    def bind_thread(self, cursor: TraceCursor, thread_id: int) -> None:
+        """Attach a software thread's instruction stream to this core."""
+
+    @abc.abstractmethod
+    def simulate_cycle(self, multi_core_time: int) -> None:
+        """Simulate this core for global cycle ``multi_core_time``.
+
+        Implementations must leave ``self.sim_time`` strictly greater than
+        ``multi_core_time`` when the core has more work (either by charging a
+        miss penalty or by the end-of-cycle increment), or set
+        :attr:`finished` when the bound trace is exhausted.
+        """
+
+    @property
+    def has_thread(self) -> bool:
+        """``True`` when a thread is bound to this core."""
+        return getattr(self, "_cursor", None) is not None
+
+
+class MulticoreSimulator(abc.ABC):
+    """Template for a full-chip timing simulator.
+
+    Parameters
+    ----------
+    config:
+        The machine to simulate (number of cores, core resources, memory
+        hierarchy, idealization flags).
+    """
+
+    #: Human-readable simulator name recorded in result tables.
+    name = "abstract"
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+
+    # -- hooks for concrete simulators ---------------------------------------------
+
+    @abc.abstractmethod
+    def _create_core(
+        self,
+        core_id: int,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        stats: CoreStats,
+        sync: Optional[SynchronizationManager],
+    ) -> CoreModel:
+        """Build the per-core timing model for ``core_id``."""
+
+    # -- the simulation loop ----------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        max_cycles: Optional[int] = None,
+        warmup_instructions: int = 0,
+    ) -> SimulationStats:
+        """Simulate ``workload`` to completion and return run statistics.
+
+        Parameters
+        ----------
+        workload:
+            The workload to run.  Every thread must map onto a distinct core
+            of the configured machine.
+        max_cycles:
+            Optional safety bound on the multi-core simulated time; exceeding
+            it raises :class:`RuntimeError` (useful to catch synchronization
+            deadlocks in tests).
+        warmup_instructions:
+            Number of leading instructions per thread used for *functional
+            warming*: they update the caches, TLBs and branch predictors but
+            are excluded from timing (the standard technique for removing
+            cold-start bias from sampled/short simulations).  Both the
+            interval and the detailed simulator warm the same way, so the
+            comparison between them is unaffected.
+        """
+        self._validate_workload(workload)
+        hierarchy = MemoryHierarchy(self.config)
+        sync = (
+            SynchronizationManager(workload.num_threads)
+            if workload.kind == "multithreaded"
+            else None
+        )
+
+        core_stats = [CoreStats(core_id=i) for i in range(self.config.num_cores)]
+        predictors = [
+            create_branch_predictor(
+                self.config.core.branch_predictor,
+                perfect=self.config.perfect.branch_predictor,
+            )
+            for _ in range(self.config.num_cores)
+        ]
+        cores: List[CoreModel] = [
+            self._create_core(i, hierarchy, predictors[i], core_stats[i], sync)
+            for i in range(self.config.num_cores)
+        ]
+
+        # Bind each software thread to its core, warming the shared state
+        # with the leading part of each trace first.
+        assert workload.core_assignment is not None
+        cursors = [trace.cursor() for trace in workload.traces]
+        if warmup_instructions > 0:
+            self._functional_warmup(
+                workload, cursors, hierarchy, predictors, warmup_instructions, sync
+            )
+        for cursor, trace, core_id in zip(
+            cursors, workload.traces, workload.core_assignment
+        ):
+            cores[core_id].bind_thread(cursor, trace.thread_id)
+
+        active = [core for core in cores if core.has_thread]
+        for core in cores:
+            if not core.has_thread:
+                core.finished = True
+
+        stopwatch = Stopwatch()
+        stopwatch.start()
+        multi_core_time = 0
+        while True:
+            unfinished = [core for core in active if not core.finished]
+            if not unfinished:
+                break
+            if max_cycles is not None and multi_core_time > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(possible deadlock in {workload.name!r})"
+                )
+            for core in unfinished:
+                if core.sim_time == multi_core_time:
+                    core.simulate_cycle(multi_core_time)
+            # Event-driven advance: jump to the earliest per-core time.  Cores
+            # that just simulated are now strictly ahead of multi_core_time,
+            # so the global time always makes progress.
+            next_times = [core.sim_time for core in active if not core.finished]
+            if not next_times:
+                break
+            next_time = min(next_times)
+            multi_core_time = max(multi_core_time + 1, next_time)
+        wall_clock = stopwatch.stop()
+
+        # Finalize per-core cycle counts for cores that never recorded them.
+        for core in active:
+            if core.stats.cycles == 0:
+                core.stats.cycles = core.sim_time
+
+        stats = SimulationStats(
+            cores=[core.stats for core in cores],
+            total_cycles=max((core.stats.cycles for core in active), default=0),
+            wall_clock_seconds=wall_clock,
+            simulator=self.name,
+            memory_stats=hierarchy.collect_stats(),
+        )
+        return stats
+
+    # -- functional warming -----------------------------------------------------------
+
+    def _functional_warmup(
+        self,
+        workload: Workload,
+        cursors: List[TraceCursor],
+        hierarchy: MemoryHierarchy,
+        predictors: List[BranchPredictor],
+        warmup_instructions: int,
+        sync: Optional[SynchronizationManager] = None,
+    ) -> None:
+        """Warm caches, TLBs and branch predictors with each trace's prefix.
+
+        The prefix is consumed from the cursors (so timing starts after it)
+        and is replayed against the shared memory hierarchy and the per-core
+        predictors in round-robin chunks, which interleaves the threads'
+        warm-up traffic in the shared L2 roughly the way the timed portion
+        interleaves it.
+
+        Barrier arrivals inside the warm-up prefix are registered with the
+        synchronization manager: threads consume different numbers of
+        barriers during warm-up (serial sections and load imbalance make the
+        prefixes asymmetric), and a thread still in front of barrier *k* must
+        not wait forever for peers that already passed it during warm-up.
+        Lock operations are not replayed — critical sections skipped by
+        warm-up have no lasting effect on the timed region.
+        """
+        assert workload.core_assignment is not None
+        chunk = 256
+        # Never let warm-up consume more than half of a thread's trace: the
+        # timed region must retain a meaningful instruction count even when
+        # the workload splits its work across many short per-thread traces.
+        remaining = [
+            min(warmup_instructions, cursor.remaining // 2) for cursor in cursors
+        ]
+        while any(count > 0 for count in remaining):
+            for index, cursor in enumerate(cursors):
+                if remaining[index] <= 0:
+                    continue
+                core_id = workload.core_assignment[index]
+                predictor = predictors[core_id]
+                for _ in range(min(chunk, remaining[index])):
+                    instruction = cursor.next()
+                    if instruction is None:
+                        remaining[index] = 0
+                        break
+                    if instruction.is_sync:
+                        if (
+                            sync is not None
+                            and instruction.sync == SyncKind.BARRIER
+                        ):
+                            sync.barrier_arrive(
+                                instruction.thread_id, instruction.sync_object
+                            )
+                        continue
+                    hierarchy.instruction_access(core_id, instruction.pc, now=0)
+                    if instruction.is_branch:
+                        predictor.access(instruction)
+                    if instruction.is_memory and instruction.mem_addr is not None:
+                        hierarchy.data_access(
+                            core_id,
+                            instruction.mem_addr,
+                            is_write=instruction.is_store,
+                            now=0,
+                        )
+                remaining[index] = max(0, remaining[index] - chunk)
+        # Warm-up traffic should not pollute the statistics reported for the
+        # timed region: clear predictor counters and memory-bus reservations
+        # (cache/TLB *contents* are of course kept — that is the point).
+        for predictor in predictors:
+            predictor.stats.reset()
+        hierarchy.dram.reset()
+
+    # -- validation ----------------------------------------------------------------------
+
+    def _validate_workload(self, workload: Workload) -> None:
+        """Check that the workload fits on the configured machine."""
+        assert workload.core_assignment is not None
+        if workload.num_cores_required > self.config.num_cores:
+            raise ValueError(
+                f"workload {workload.name!r} needs "
+                f"{workload.num_cores_required} cores but the machine has "
+                f"{self.config.num_cores}"
+            )
+        if len(set(workload.core_assignment)) != len(workload.core_assignment):
+            raise ValueError("each core can run at most one thread")

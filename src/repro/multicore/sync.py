@@ -1,0 +1,132 @@
+"""Inter-thread synchronization modeling.
+
+The multi-threaded (PARSEC-like) workloads contain barrier and lock
+pseudo-instructions (see :mod:`repro.trace.multithreaded`).  Both timing
+simulators interpret them through this module so that thread interleavings
+are governed by the simulated timing, as in the paper's functional-first
+framework: a core reaching a barrier stalls until every participating thread
+has arrived; a core trying to enter a held critical section stalls until the
+lock is released.
+
+The same :class:`SynchronizationManager` instance is shared by all cores of a
+simulation; it is purely functional state (who holds which lock, who arrived
+at which barrier) — the *timing* consequence (stall cycles) is accounted by
+the core models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+__all__ = ["SyncStats", "SynchronizationManager"]
+
+
+@dataclass
+class SyncStats:
+    """Counters of synchronization activity across the whole simulation."""
+
+    barrier_arrivals: int = 0
+    barrier_releases: int = 0
+    lock_acquisitions: int = 0
+    lock_contentions: int = 0
+    lock_releases: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.barrier_arrivals = 0
+        self.barrier_releases = 0
+        self.lock_acquisitions = 0
+        self.lock_contentions = 0
+        self.lock_releases = 0
+
+
+class SynchronizationManager:
+    """Tracks barrier arrivals and lock ownership for a set of threads."""
+
+    def __init__(self, num_threads: int) -> None:
+        if num_threads <= 0:
+            raise ValueError("need at least one thread")
+        self.num_threads = num_threads
+        self.stats = SyncStats()
+        self._barrier_arrivals: Dict[int, Set[int]] = {}
+        self._released_barriers: Set[int] = set()
+        self._lock_holders: Dict[int, Optional[int]] = {}
+        self._finished_threads: Set[int] = set()
+
+    # -- barriers -----------------------------------------------------------------
+
+    def barrier_arrive(self, thread_id: int, barrier_id: int) -> None:
+        """Record that ``thread_id`` reached barrier ``barrier_id``."""
+        self._check_thread(thread_id)
+        arrivals = self._barrier_arrivals.setdefault(barrier_id, set())
+        if thread_id not in arrivals:
+            arrivals.add(thread_id)
+            self.stats.barrier_arrivals += 1
+        self._maybe_release(barrier_id)
+
+    def barrier_released(self, barrier_id: int) -> bool:
+        """``True`` once every participating thread has arrived at the barrier.
+
+        Threads that already finished their trace no longer participate (this
+        can only happen after the final barrier of a well-formed workload,
+        but the manager stays robust to imbalanced traces).
+        """
+        self._maybe_release(barrier_id)
+        return barrier_id in self._released_barriers
+
+    def _maybe_release(self, barrier_id: int) -> None:
+        """Release the barrier when arrivals plus finished threads cover all."""
+        if barrier_id in self._released_barriers:
+            return
+        arrivals = self._barrier_arrivals.get(barrier_id, set())
+        if len(arrivals | self._finished_threads) >= self.num_threads:
+            self._released_barriers.add(barrier_id)
+            self.stats.barrier_releases += 1
+
+    # -- locks --------------------------------------------------------------------
+
+    def lock_try_acquire(self, thread_id: int, lock_id: int) -> bool:
+        """Attempt to acquire ``lock_id``; returns ``True`` on success.
+
+        Re-acquiring a lock the thread already holds succeeds (the synthetic
+        traces never nest the same lock, but robustness is cheap).
+        """
+        self._check_thread(thread_id)
+        holder = self._lock_holders.get(lock_id)
+        if holder is None or holder == thread_id:
+            self._lock_holders[lock_id] = thread_id
+            self.stats.lock_acquisitions += 1
+            return True
+        self.stats.lock_contentions += 1
+        return False
+
+    def lock_release(self, thread_id: int, lock_id: int) -> None:
+        """Release ``lock_id``.  Releasing a lock held by another thread is an error."""
+        holder = self._lock_holders.get(lock_id)
+        if holder is not None and holder != thread_id:
+            raise ValueError(
+                f"thread {thread_id} released lock {lock_id} held by thread {holder}"
+            )
+        self._lock_holders[lock_id] = None
+        self.stats.lock_releases += 1
+
+    def lock_holder(self, lock_id: int) -> Optional[int]:
+        """Thread currently holding ``lock_id``, or ``None``."""
+        return self._lock_holders.get(lock_id)
+
+    # -- thread lifecycle -----------------------------------------------------------
+
+    def thread_finished(self, thread_id: int) -> None:
+        """Mark a thread as finished so it no longer blocks barriers."""
+        self._check_thread(thread_id)
+        self._finished_threads.add(thread_id)
+        for barrier_id in list(self._barrier_arrivals) :
+            self._maybe_release(barrier_id)
+
+    def _check_thread(self, thread_id: int) -> None:
+        """Validate a thread identifier."""
+        if not 0 <= thread_id < self.num_threads:
+            raise ValueError(
+                f"thread_id {thread_id} out of range for {self.num_threads} threads"
+            )

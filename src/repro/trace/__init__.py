@@ -1,0 +1,52 @@
+"""Functional-simulator substrate: synthetic dynamic instruction streams.
+
+This package replaces the M5 functional simulator of the paper with a
+deterministic synthetic workload generator.  See
+:mod:`repro.trace.profiles` for the SPEC CPU2000 / PARSEC stand-in profiles,
+:mod:`repro.trace.synthetic` for single-threaded trace generation,
+:mod:`repro.trace.multithreaded` for parallel workloads with synchronization
+and sharing, and :mod:`repro.trace.workloads` for the workload shapes used in
+the experiments.
+"""
+
+from .multithreaded import MultiThreadedTraceGenerator, generate_multithreaded_workload
+from .profiles import (
+    FIGURE6_BENCHMARKS,
+    PARSEC_PROFILES,
+    SPEC_PROFILES,
+    WorkloadProfile,
+    parsec_benchmark_names,
+    parsec_profile,
+    spec_benchmark_names,
+    spec_profile,
+)
+from .stream import ThreadTrace, TraceCursor, Workload
+from .synthetic import SyntheticTraceGenerator, generate_trace
+from .workloads import (
+    heterogeneous_multiprogram_workload,
+    homogeneous_multiprogram_workload,
+    multithreaded_workload,
+    single_threaded_workload,
+)
+
+__all__ = [
+    "MultiThreadedTraceGenerator",
+    "generate_multithreaded_workload",
+    "FIGURE6_BENCHMARKS",
+    "PARSEC_PROFILES",
+    "SPEC_PROFILES",
+    "WorkloadProfile",
+    "parsec_benchmark_names",
+    "parsec_profile",
+    "spec_benchmark_names",
+    "spec_profile",
+    "ThreadTrace",
+    "TraceCursor",
+    "Workload",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+    "heterogeneous_multiprogram_workload",
+    "homogeneous_multiprogram_workload",
+    "multithreaded_workload",
+    "single_threaded_workload",
+]

@@ -1,0 +1,759 @@
+"""Workload profiles standing in for the SPEC CPU2000 and PARSEC benchmarks.
+
+The paper evaluates interval simulation with 26 SPEC CPU2000 benchmarks
+(user-level, single-threaded) and 9 PARSEC benchmarks (multi-threaded,
+full-system).  Running those binaries requires the M5 functional simulator and
+Alpha binaries, which are outside the scope of a pure-Python reproduction; per
+the substitution policy in DESIGN.md we replace them with *statistical
+workload profiles* that drive a synthetic trace generator
+(:mod:`repro.trace.synthetic`).
+
+Each :class:`WorkloadProfile` captures the program characteristics the timing
+models are sensitive to:
+
+* instruction mix (loads, stores, branches, long-latency FP, serializing ops);
+* code footprint and code locality (drives I-cache/I-TLB misses);
+* the data-access working-set structure (drives L1 D / L2 / D-TLB misses and
+  memory-level parallelism) — see below;
+* branch behaviour (fraction of hard-to-predict branches, loop lengths);
+* dependence distances (drives the critical path, and therefore the effective
+  dispatch rate, branch resolution time and window drain time);
+* for PARSEC-like profiles: synchronization density, sharing degree and load
+  imbalance (drives coherence misses and barrier/lock stalls).
+
+Data-access model
+-----------------
+
+Every load/store address is drawn from one of four streams whose proportions
+are the key levers for cache behaviour:
+
+``hot_data_fraction``
+    A small hot region (stack, scalars) that always fits in the L1 D-cache.
+``l1_fraction`` (implicit: the remainder)
+    A working set of ``l1_working_set`` bytes — mostly L1-resident.
+``l2_fraction``
+    A skewed random working set of ``l2_working_set`` bytes — misses the L1
+    but fits the 4 MB shared L2 when the program runs alone.  When several
+    memory-hungry programs share the L2 (Figure 6) the aggregate working set
+    exceeds the L2 and long-latency misses appear: this is the lever behind
+    the paper's shared-cache conflict behaviour.
+``streaming_fraction``
+    Sequential stride streams through a ``data_footprint``-byte region —
+    compulsory misses all the way to DRAM (one per cache line touched), which
+    exercise off-chip bandwidth.
+``pointer_chase_fraction``
+    The fraction of loads whose *address* depends on the previous load
+    (linked-list traversal).  These serialize memory accesses and destroy
+    memory-level parallelism (``mcf``/``canneal`` behaviour).
+
+Profile parameters are chosen so the *relative* behaviour of the benchmarks
+mirrors what the paper reports qualitatively: ``mcf`` and ``art`` are
+memory-bound and suffer badly from L2 sharing, ``gcc`` has a large instruction
+footprint and scales well, ``swim``/``lucas`` stream through memory,
+``vpr``/``applu``/``art`` have difficult branches, ``vips`` has poor parallel
+scaling due to load imbalance and serial phases, and so on.  Absolute IPC
+values are not expected to match the paper (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..common.isa import InstructionMix
+
+__all__ = [
+    "WorkloadProfile",
+    "SPEC_PROFILES",
+    "PARSEC_PROFILES",
+    "spec_profile",
+    "parsec_profile",
+    "spec_benchmark_names",
+    "parsec_benchmark_names",
+    "FIGURE6_BENCHMARKS",
+]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical description of a benchmark's dynamic behaviour.
+
+    See the module docstring for the meaning of the data-access fields.  The
+    remaining attributes:
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (matches the paper's figures).
+    suite:
+        ``"spec"`` or ``"parsec"``.
+    mix:
+        Instruction-class mix.
+    code_footprint:
+        Size in bytes of the static code working set; footprints larger than
+        the 32 KB L1 I-cache produce instruction-cache misses.
+    code_locality:
+        Fraction of function calls that target a small set of hot functions;
+        lower values spread execution across the whole code footprint and
+        increase I-cache misses.
+    dependence_distance:
+        Mean register dependence distance in dynamic instructions; small
+        values mean long dependence chains (low ILP).
+    hard_branch_fraction:
+        Fraction of static branches with data-dependent, hard-to-predict
+        outcomes.
+    loop_branch_fraction:
+        Fraction of static branches that behave like loop back-edges.
+    mean_basic_block:
+        Mean dynamic basic-block length in instructions.
+    serializing_fraction:
+        Fraction of instructions that serialize the pipeline.
+    kernel_fraction:
+        Fraction of instructions executed in OS code (full-system workloads).
+    instructions:
+        Default number of dynamic instructions to generate per thread.
+    shared_fraction / shared_write_fraction:
+        Multi-threaded only: fraction of data accesses targeting the region
+        shared by all threads, and the write ratio within it (drives
+        coherence misses and invalidations).
+    barrier_interval / lock_interval / critical_section_length:
+        Multi-threaded only: synchronization density.
+    load_imbalance:
+        Coefficient of variation of per-thread work between barriers.
+    parallel_fraction:
+        Fraction of the work that is parallelizable (the rest runs on
+        thread 0 only).
+    """
+
+    name: str
+    suite: str = "spec"
+    mix: InstructionMix = field(default_factory=InstructionMix)
+    # Code side.
+    code_footprint: int = 16 * KB
+    code_locality: float = 0.9
+    # Data side (see module docstring).
+    hot_data_fraction: float = 0.40
+    l2_fraction: float = 0.05
+    streaming_fraction: float = 0.02
+    l1_working_set: int = 24 * KB
+    l2_working_set: int = 512 * KB
+    data_footprint: int = 16 * MB
+    pointer_chase_fraction: float = 0.0
+    # Dependences and branches.
+    dependence_distance: float = 8.0
+    hard_branch_fraction: float = 0.08
+    loop_branch_fraction: float = 0.5
+    mean_basic_block: float = 10.0
+    serializing_fraction: float = 0.0002
+    kernel_fraction: float = 0.0
+    instructions: int = 100_000
+    # Multi-threaded attributes (PARSEC-like profiles only).
+    shared_fraction: float = 0.0
+    shared_write_fraction: float = 0.3
+    barrier_interval: int = 0
+    lock_interval: int = 0
+    critical_section_length: int = 40
+    load_imbalance: float = 0.0
+    parallel_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("spec", "parsec"):
+            raise ValueError(f"unknown suite: {self.suite!r}")
+        for frac_name in (
+            "code_locality",
+            "hot_data_fraction",
+            "l2_fraction",
+            "streaming_fraction",
+            "pointer_chase_fraction",
+            "hard_branch_fraction",
+            "loop_branch_fraction",
+            "kernel_fraction",
+            "shared_fraction",
+            "shared_write_fraction",
+            "parallel_fraction",
+        ):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{frac_name} must be within [0, 1], got {value}")
+        if self.hot_data_fraction + self.l2_fraction + self.streaming_fraction > 1.0:
+            raise ValueError(
+                "hot_data_fraction + l2_fraction + streaming_fraction must not "
+                "exceed 1.0"
+            )
+        if min(self.code_footprint, self.l1_working_set, self.l2_working_set,
+               self.data_footprint) <= 0:
+            raise ValueError("footprints and working sets must be positive")
+        if self.instructions <= 0:
+            raise ValueError("instruction count must be positive")
+        if self.dependence_distance <= 0:
+            raise ValueError("dependence distance must be positive")
+
+    @property
+    def l1_fraction(self) -> float:
+        """Fraction of accesses that target the L1-resident working set."""
+        return max(
+            0.0,
+            1.0
+            - self.hot_data_fraction
+            - self.l2_fraction
+            - self.streaming_fraction,
+        )
+
+    def scaled(self, instructions: int) -> "WorkloadProfile":
+        """Return a copy of this profile with a different instruction budget."""
+        return replace(self, instructions=instructions)
+
+    @property
+    def is_multithreaded(self) -> bool:
+        """``True`` for PARSEC-like profiles with synchronization."""
+        return self.suite == "parsec"
+
+
+def _spec(name: str, **kwargs: object) -> WorkloadProfile:
+    """Shorthand constructor for a SPEC-like profile."""
+    return WorkloadProfile(name=name, suite="spec", **kwargs)  # type: ignore[arg-type]
+
+
+def _parsec(name: str, **kwargs: object) -> WorkloadProfile:
+    """Shorthand constructor for a PARSEC-like profile."""
+    return WorkloadProfile(name=name, suite="parsec", **kwargs)  # type: ignore[arg-type]
+
+
+#: SPEC CPU2000 stand-in profiles (the 26 benchmarks of Figures 4, 5, 9).
+SPEC_PROFILES: Dict[str, WorkloadProfile] = {
+    # ---- SPECint ----
+    "bzip2": _spec(
+        "bzip2",
+        mix=InstructionMix(load=0.26, store=0.09, branch=0.12, int_alu=0.50),
+        code_footprint=12 * KB,
+        hot_data_fraction=0.40,
+        l2_fraction=0.06,
+        streaming_fraction=0.02,
+        l2_working_set=176 * KB,
+        dependence_distance=6.0,
+        hard_branch_fraction=0.10,
+    ),
+    "crafty": _spec(
+        "crafty",
+        mix=InstructionMix(load=0.29, store=0.07, branch=0.11, int_alu=0.50),
+        code_footprint=48 * KB,
+        code_locality=0.85,
+        hot_data_fraction=0.45,
+        l2_fraction=0.03,
+        streaming_fraction=0.0,
+        l2_working_set=72 * KB,
+        dependence_distance=9.0,
+        hard_branch_fraction=0.09,
+    ),
+    "eon": _spec(
+        "eon",
+        mix=InstructionMix(load=0.27, store=0.14, branch=0.09, int_alu=0.35, fp_alu=0.12),
+        code_footprint=52 * KB,
+        hot_data_fraction=0.50,
+        l2_fraction=0.01,
+        streaming_fraction=0.0,
+        l2_working_set=48 * KB,
+        dependence_distance=10.0,
+        hard_branch_fraction=0.04,
+    ),
+    "gap": _spec(
+        "gap",
+        mix=InstructionMix(load=0.24, store=0.11, branch=0.08, int_alu=0.52),
+        code_footprint=28 * KB,
+        hot_data_fraction=0.42,
+        l2_fraction=0.05,
+        streaming_fraction=0.02,
+        l2_working_set=144 * KB,
+        dependence_distance=8.0,
+        hard_branch_fraction=0.05,
+    ),
+    "gcc": _spec(
+        "gcc",
+        mix=InstructionMix(load=0.25, store=0.13, branch=0.14, int_alu=0.44),
+        code_footprint=160 * KB,
+        code_locality=0.70,
+        hot_data_fraction=0.40,
+        l2_fraction=0.07,
+        streaming_fraction=0.01,
+        l2_working_set=128 * KB,
+        dependence_distance=8.0,
+        hard_branch_fraction=0.08,
+        serializing_fraction=0.0004,
+    ),
+    "gzip": _spec(
+        "gzip",
+        mix=InstructionMix(load=0.22, store=0.08, branch=0.13, int_alu=0.53),
+        code_footprint=10 * KB,
+        hot_data_fraction=0.40,
+        l2_fraction=0.05,
+        streaming_fraction=0.01,
+        l2_working_set=64 * KB,
+        dependence_distance=6.0,
+        hard_branch_fraction=0.10,
+    ),
+    "mcf": _spec(
+        "mcf",
+        mix=InstructionMix(load=0.33, store=0.09, branch=0.12, int_alu=0.42),
+        code_footprint=8 * KB,
+        hot_data_fraction=0.18,
+        l2_fraction=0.30,
+        streaming_fraction=0.10,
+        l2_working_set=320 * KB,
+        data_footprint=64 * MB,
+        pointer_chase_fraction=0.40,
+        dependence_distance=5.0,
+        hard_branch_fraction=0.14,
+    ),
+    "parser": _spec(
+        "parser",
+        mix=InstructionMix(load=0.26, store=0.09, branch=0.13, int_alu=0.48),
+        code_footprint=24 * KB,
+        hot_data_fraction=0.38,
+        l2_fraction=0.10,
+        streaming_fraction=0.01,
+        l2_working_set=176 * KB,
+        pointer_chase_fraction=0.12,
+        dependence_distance=7.0,
+        hard_branch_fraction=0.10,
+    ),
+    "perlbmk": _spec(
+        "perlbmk",
+        mix=InstructionMix(load=0.28, store=0.13, branch=0.13, int_alu=0.42),
+        code_footprint=96 * KB,
+        code_locality=0.75,
+        hot_data_fraction=0.45,
+        l2_fraction=0.03,
+        streaming_fraction=0.0,
+        l2_working_set=80 * KB,
+        dependence_distance=8.0,
+        hard_branch_fraction=0.05,
+    ),
+    "twolf": _spec(
+        "twolf",
+        mix=InstructionMix(load=0.28, store=0.07, branch=0.12, int_alu=0.42, fp_alu=0.07),
+        code_footprint=20 * KB,
+        hot_data_fraction=0.30,
+        l2_fraction=0.18,
+        streaming_fraction=0.0,
+        l2_working_set=224 * KB,
+        dependence_distance=6.5,
+        hard_branch_fraction=0.13,
+    ),
+    "vortex": _spec(
+        "vortex",
+        mix=InstructionMix(load=0.28, store=0.16, branch=0.12, int_alu=0.40),
+        code_footprint=128 * KB,
+        code_locality=0.72,
+        hot_data_fraction=0.42,
+        l2_fraction=0.06,
+        streaming_fraction=0.01,
+        l2_working_set=160 * KB,
+        dependence_distance=9.0,
+        hard_branch_fraction=0.03,
+    ),
+    "vpr": _spec(
+        "vpr",
+        mix=InstructionMix(load=0.28, store=0.09, branch=0.12, int_alu=0.38, fp_alu=0.10),
+        code_footprint=16 * KB,
+        hot_data_fraction=0.35,
+        l2_fraction=0.08,
+        streaming_fraction=0.0,
+        l2_working_set=128 * KB,
+        dependence_distance=5.5,
+        hard_branch_fraction=0.18,
+    ),
+    # ---- SPECfp ----
+    "ammp": _spec(
+        "ammp",
+        mix=InstructionMix(load=0.28, store=0.08, branch=0.06, int_alu=0.22, fp_alu=0.28, fp_mul=0.07),
+        code_footprint=14 * KB,
+        hot_data_fraction=0.32,
+        l2_fraction=0.12,
+        streaming_fraction=0.04,
+        l2_working_set=256 * KB,
+        pointer_chase_fraction=0.18,
+        dependence_distance=7.0,
+        hard_branch_fraction=0.06,
+    ),
+    "applu": _spec(
+        "applu",
+        mix=InstructionMix(load=0.29, store=0.11, branch=0.04, int_alu=0.16, fp_alu=0.28, fp_mul=0.10, fp_div=0.01),
+        code_footprint=24 * KB,
+        hot_data_fraction=0.35,
+        l2_fraction=0.05,
+        streaming_fraction=0.14,
+        l2_working_set=160 * KB,
+        data_footprint=32 * MB,
+        dependence_distance=12.0,
+        hard_branch_fraction=0.16,
+        loop_branch_fraction=0.75,
+        mean_basic_block=22.0,
+    ),
+    "apsi": _spec(
+        "apsi",
+        mix=InstructionMix(load=0.26, store=0.12, branch=0.05, int_alu=0.20, fp_alu=0.26, fp_mul=0.10),
+        code_footprint=40 * KB,
+        hot_data_fraction=0.40,
+        l2_fraction=0.06,
+        streaming_fraction=0.06,
+        l2_working_set=144 * KB,
+        dependence_distance=11.0,
+        hard_branch_fraction=0.05,
+        mean_basic_block=18.0,
+    ),
+    "art": _spec(
+        "art",
+        mix=InstructionMix(load=0.31, store=0.07, branch=0.10, int_alu=0.22, fp_alu=0.23, fp_mul=0.06),
+        code_footprint=6 * KB,
+        hot_data_fraction=0.20,
+        l2_fraction=0.26,
+        streaming_fraction=0.14,
+        l2_working_set=288 * KB,
+        data_footprint=24 * MB,
+        dependence_distance=6.0,
+        hard_branch_fraction=0.17,
+    ),
+    "equake": _spec(
+        "equake",
+        mix=InstructionMix(load=0.34, store=0.09, branch=0.07, int_alu=0.18, fp_alu=0.24, fp_mul=0.07),
+        code_footprint=10 * KB,
+        hot_data_fraction=0.28,
+        l2_fraction=0.10,
+        streaming_fraction=0.18,
+        l2_working_set=176 * KB,
+        data_footprint=32 * MB,
+        pointer_chase_fraction=0.08,
+        dependence_distance=7.0,
+        hard_branch_fraction=0.04,
+    ),
+    "facerec": _spec(
+        "facerec",
+        mix=InstructionMix(load=0.28, store=0.08, branch=0.05, int_alu=0.20, fp_alu=0.28, fp_mul=0.10),
+        code_footprint=20 * KB,
+        hot_data_fraction=0.35,
+        l2_fraction=0.06,
+        streaming_fraction=0.16,
+        l2_working_set=144 * KB,
+        data_footprint=16 * MB,
+        dependence_distance=10.0,
+        hard_branch_fraction=0.03,
+        mean_basic_block=20.0,
+    ),
+    "fma3d": _spec(
+        "fma3d",
+        mix=InstructionMix(load=0.30, store=0.14, branch=0.05, int_alu=0.16, fp_alu=0.26, fp_mul=0.08),
+        code_footprint=220 * KB,
+        code_locality=0.70,
+        hot_data_fraction=0.32,
+        l2_fraction=0.08,
+        streaming_fraction=0.15,
+        l2_working_set=192 * KB,
+        data_footprint=24 * MB,
+        dependence_distance=9.0,
+        hard_branch_fraction=0.04,
+        mean_basic_block=19.0,
+    ),
+    "galgel": _spec(
+        "galgel",
+        mix=InstructionMix(load=0.30, store=0.07, branch=0.06, int_alu=0.17, fp_alu=0.29, fp_mul=0.10),
+        code_footprint=30 * KB,
+        hot_data_fraction=0.45,
+        l2_fraction=0.05,
+        streaming_fraction=0.03,
+        l2_working_set=96 * KB,
+        dependence_distance=13.0,
+        hard_branch_fraction=0.03,
+        mean_basic_block=17.0,
+    ),
+    "lucas": _spec(
+        "lucas",
+        mix=InstructionMix(load=0.26, store=0.12, branch=0.03, int_alu=0.15, fp_alu=0.30, fp_mul=0.13),
+        code_footprint=12 * KB,
+        hot_data_fraction=0.30,
+        l2_fraction=0.04,
+        streaming_fraction=0.26,
+        l2_working_set=128 * KB,
+        data_footprint=32 * MB,
+        dependence_distance=12.0,
+        hard_branch_fraction=0.02,
+        mean_basic_block=30.0,
+    ),
+    "mesa": _spec(
+        "mesa",
+        mix=InstructionMix(load=0.25, store=0.11, branch=0.08, int_alu=0.30, fp_alu=0.20, fp_mul=0.05),
+        code_footprint=72 * KB,
+        code_locality=0.80,
+        hot_data_fraction=0.45,
+        l2_fraction=0.03,
+        streaming_fraction=0.02,
+        l2_working_set=80 * KB,
+        dependence_distance=9.0,
+        hard_branch_fraction=0.04,
+    ),
+    "mgrid": _spec(
+        "mgrid",
+        mix=InstructionMix(load=0.33, store=0.08, branch=0.02, int_alu=0.13, fp_alu=0.31, fp_mul=0.12),
+        code_footprint=16 * KB,
+        hot_data_fraction=0.40,
+        l2_fraction=0.04,
+        streaming_fraction=0.12,
+        l2_working_set=112 * KB,
+        data_footprint=32 * MB,
+        dependence_distance=14.0,
+        hard_branch_fraction=0.01,
+        mean_basic_block=40.0,
+    ),
+    "sixtrack": _spec(
+        "sixtrack",
+        mix=InstructionMix(load=0.24, store=0.09, branch=0.06, int_alu=0.20, fp_alu=0.29, fp_mul=0.11),
+        code_footprint=80 * KB,
+        code_locality=0.82,
+        hot_data_fraction=0.48,
+        l2_fraction=0.02,
+        streaming_fraction=0.01,
+        l2_working_set=80 * KB,
+        dependence_distance=11.0,
+        hard_branch_fraction=0.03,
+        mean_basic_block=18.0,
+    ),
+    "swim": _spec(
+        "swim",
+        mix=InstructionMix(load=0.31, store=0.13, branch=0.02, int_alu=0.12, fp_alu=0.30, fp_mul=0.11),
+        code_footprint=8 * KB,
+        hot_data_fraction=0.25,
+        l2_fraction=0.05,
+        streaming_fraction=0.35,
+        l2_working_set=160 * KB,
+        data_footprint=48 * MB,
+        dependence_distance=14.0,
+        hard_branch_fraction=0.01,
+        mean_basic_block=45.0,
+    ),
+    "wupwise": _spec(
+        "wupwise",
+        mix=InstructionMix(load=0.26, store=0.10, branch=0.05, int_alu=0.18, fp_alu=0.28, fp_mul=0.12),
+        code_footprint=22 * KB,
+        hot_data_fraction=0.40,
+        l2_fraction=0.05,
+        streaming_fraction=0.08,
+        l2_working_set=128 * KB,
+        data_footprint=16 * MB,
+        dependence_distance=12.0,
+        hard_branch_fraction=0.02,
+        mean_basic_block=24.0,
+    ),
+}
+
+
+#: PARSEC stand-in profiles (the 9 benchmarks of Figures 7, 8, 10).
+PARSEC_PROFILES: Dict[str, WorkloadProfile] = {
+    "blackscholes": _parsec(
+        "blackscholes",
+        mix=InstructionMix(load=0.24, store=0.08, branch=0.06, int_alu=0.22, fp_alu=0.28, fp_mul=0.09, fp_div=0.02),
+        code_footprint=8 * KB,
+        hot_data_fraction=0.50,
+        l2_fraction=0.02,
+        streaming_fraction=0.03,
+        l2_working_set=80 * KB,
+        dependence_distance=10.0,
+        hard_branch_fraction=0.02,
+        kernel_fraction=0.03,
+        shared_fraction=0.02,
+        barrier_interval=20_000,
+        load_imbalance=0.02,
+        parallel_fraction=0.99,
+        mean_basic_block=16.0,
+    ),
+    "bodytrack": _parsec(
+        "bodytrack",
+        mix=InstructionMix(load=0.27, store=0.09, branch=0.10, int_alu=0.28, fp_alu=0.20, fp_mul=0.05),
+        code_footprint=56 * KB,
+        code_locality=0.80,
+        hot_data_fraction=0.40,
+        l2_fraction=0.06,
+        streaming_fraction=0.04,
+        l2_working_set=144 * KB,
+        dependence_distance=8.0,
+        hard_branch_fraction=0.07,
+        kernel_fraction=0.08,
+        shared_fraction=0.08,
+        barrier_interval=8_000,
+        lock_interval=4_000,
+        load_imbalance=0.10,
+        parallel_fraction=0.95,
+    ),
+    "canneal": _parsec(
+        "canneal",
+        mix=InstructionMix(load=0.31, store=0.10, branch=0.10, int_alu=0.40, fp_alu=0.08),
+        code_footprint=16 * KB,
+        hot_data_fraction=0.22,
+        l2_fraction=0.28,
+        streaming_fraction=0.04,
+        l2_working_set=320 * KB,
+        data_footprint=64 * MB,
+        pointer_chase_fraction=0.30,
+        dependence_distance=6.0,
+        hard_branch_fraction=0.12,
+        kernel_fraction=0.05,
+        shared_fraction=0.22,
+        shared_write_fraction=0.12,
+        barrier_interval=0,
+        lock_interval=2_500,
+        critical_section_length=30,
+        load_imbalance=0.05,
+        parallel_fraction=0.97,
+    ),
+    "dedup": _parsec(
+        "dedup",
+        mix=InstructionMix(load=0.26, store=0.12, branch=0.12, int_alu=0.48),
+        code_footprint=36 * KB,
+        hot_data_fraction=0.38,
+        l2_fraction=0.10,
+        streaming_fraction=0.08,
+        l2_working_set=224 * KB,
+        data_footprint=24 * MB,
+        dependence_distance=7.0,
+        hard_branch_fraction=0.08,
+        kernel_fraction=0.15,
+        shared_fraction=0.12,
+        lock_interval=1_500,
+        critical_section_length=60,
+        load_imbalance=0.12,
+        parallel_fraction=0.92,
+        serializing_fraction=0.0008,
+    ),
+    "fluidanimate": _parsec(
+        "fluidanimate",
+        mix=InstructionMix(load=0.29, store=0.10, branch=0.08, int_alu=0.20, fp_alu=0.26, fp_mul=0.06),
+        code_footprint=20 * KB,
+        hot_data_fraction=0.32,
+        l2_fraction=0.12,
+        streaming_fraction=0.08,
+        l2_working_set=256 * KB,
+        data_footprint=32 * MB,
+        pointer_chase_fraction=0.08,
+        dependence_distance=7.5,
+        hard_branch_fraction=0.06,
+        kernel_fraction=0.06,
+        shared_fraction=0.16,
+        shared_write_fraction=0.35,
+        barrier_interval=6_000,
+        lock_interval=900,
+        critical_section_length=25,
+        load_imbalance=0.15,
+        parallel_fraction=0.96,
+    ),
+    "streamcluster": _parsec(
+        "streamcluster",
+        mix=InstructionMix(load=0.33, store=0.06, branch=0.07, int_alu=0.22, fp_alu=0.26, fp_mul=0.05),
+        code_footprint=10 * KB,
+        hot_data_fraction=0.30,
+        l2_fraction=0.08,
+        streaming_fraction=0.18,
+        l2_working_set=192 * KB,
+        data_footprint=32 * MB,
+        dependence_distance=10.0,
+        hard_branch_fraction=0.03,
+        kernel_fraction=0.04,
+        shared_fraction=0.18,
+        shared_write_fraction=0.10,
+        barrier_interval=4_000,
+        load_imbalance=0.05,
+        parallel_fraction=0.95,
+        mean_basic_block=20.0,
+    ),
+    "swaptions": _parsec(
+        "swaptions",
+        mix=InstructionMix(load=0.25, store=0.09, branch=0.07, int_alu=0.24, fp_alu=0.25, fp_mul=0.08, fp_div=0.01),
+        code_footprint=14 * KB,
+        hot_data_fraction=0.48,
+        l2_fraction=0.02,
+        streaming_fraction=0.01,
+        l2_working_set=72 * KB,
+        dependence_distance=9.0,
+        hard_branch_fraction=0.03,
+        kernel_fraction=0.02,
+        shared_fraction=0.02,
+        barrier_interval=0,
+        lock_interval=0,
+        load_imbalance=0.04,
+        parallel_fraction=0.99,
+    ),
+    "vips": _parsec(
+        "vips",
+        mix=InstructionMix(load=0.27, store=0.11, branch=0.10, int_alu=0.34, fp_alu=0.14, fp_mul=0.03),
+        code_footprint=120 * KB,
+        code_locality=0.72,
+        hot_data_fraction=0.38,
+        l2_fraction=0.08,
+        streaming_fraction=0.08,
+        l2_working_set=176 * KB,
+        data_footprint=16 * MB,
+        dependence_distance=8.0,
+        hard_branch_fraction=0.06,
+        kernel_fraction=0.20,
+        shared_fraction=0.10,
+        barrier_interval=3_000,
+        lock_interval=1_200,
+        critical_section_length=80,
+        load_imbalance=0.45,
+        parallel_fraction=0.70,
+        serializing_fraction=0.001,
+    ),
+    "x264": _parsec(
+        "x264",
+        mix=InstructionMix(load=0.28, store=0.10, branch=0.09, int_alu=0.42, fp_alu=0.08),
+        code_footprint=140 * KB,
+        code_locality=0.75,
+        hot_data_fraction=0.36,
+        l2_fraction=0.08,
+        streaming_fraction=0.08,
+        l2_working_set=208 * KB,
+        data_footprint=24 * MB,
+        dependence_distance=7.0,
+        hard_branch_fraction=0.09,
+        kernel_fraction=0.10,
+        shared_fraction=0.12,
+        barrier_interval=10_000,
+        lock_interval=2_000,
+        load_imbalance=0.25,
+        parallel_fraction=0.88,
+    ),
+}
+
+
+#: Benchmarks used for the homogeneous multi-program workloads of Figure 6.
+FIGURE6_BENCHMARKS: List[str] = ["gcc", "mcf", "twolf", "art", "swim"]
+
+
+def spec_profile(name: str) -> WorkloadProfile:
+    """Look up a SPEC CPU2000 stand-in profile by benchmark name."""
+    try:
+        return SPEC_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown SPEC benchmark {name!r}; known: {sorted(SPEC_PROFILES)}"
+        ) from None
+
+
+def parsec_profile(name: str) -> WorkloadProfile:
+    """Look up a PARSEC stand-in profile by benchmark name."""
+    try:
+        return PARSEC_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown PARSEC benchmark {name!r}; known: {sorted(PARSEC_PROFILES)}"
+        ) from None
+
+
+def spec_benchmark_names() -> List[str]:
+    """Names of all SPEC-like profiles in the paper's ordering."""
+    return list(SPEC_PROFILES)
+
+
+def parsec_benchmark_names() -> List[str]:
+    """Names of all PARSEC-like profiles in the paper's ordering."""
+    return list(PARSEC_PROFILES)

@@ -1,0 +1,200 @@
+"""Dynamic instruction streams.
+
+The paper's framework is *functional-first*: "a functional simulator supplies
+instructions to the multi-core interval simulator".  In this reproduction the
+functional simulator is replaced by a synthetic trace substrate
+(:mod:`repro.trace.synthetic`), and this module defines the containers through
+which the dynamic instruction stream reaches the timing simulators:
+
+* :class:`ThreadTrace` — the committed instruction stream of one software
+  thread, with cursor-style access (the timing models pull instructions one at
+  a time, exactly like the window-tail feed in Figure 2 of the paper);
+* :class:`Workload` — a set of threads plus their mapping onto cores, covering
+  single-threaded, multi-program (one single-threaded program per core) and
+  multi-threaded (one parallel program across cores) workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..common.isa import Instruction
+
+__all__ = ["ThreadTrace", "TraceCursor", "Workload"]
+
+
+class ThreadTrace:
+    """The dynamic instruction stream of a single software thread.
+
+    A trace is an immutable sequence of :class:`~repro.common.isa.Instruction`
+    objects in commit order.  Timing simulators never index traces randomly;
+    they obtain a :class:`TraceCursor` and pull instructions in order, which
+    keeps the simulators oblivious to how the trace was produced.
+    """
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        thread_id: int = 0,
+        name: str = "",
+    ) -> None:
+        self._instructions: List[Instruction] = list(instructions)
+        self.thread_id = thread_id
+        self.name = name or f"thread{thread_id}"
+        for instruction in self._instructions:
+            instruction.thread_id = thread_id
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def cursor(self) -> "TraceCursor":
+        """Return a fresh cursor positioned at the first instruction."""
+        return TraceCursor(self)
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of dynamic instructions in this trace."""
+        return len(self._instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ThreadTrace(name={self.name!r}, thread_id={self.thread_id}, "
+            f"instructions={len(self)})"
+        )
+
+
+class TraceCursor:
+    """A read-once cursor over a :class:`ThreadTrace`.
+
+    The interval simulator feeds instructions into the window at the tail and
+    the detailed simulator feeds them into its fetch queue; both do so through
+    a cursor, consuming the stream strictly in order.
+    """
+
+    __slots__ = ("_trace", "_index")
+
+    def __init__(self, trace: ThreadTrace) -> None:
+        self._trace = trace
+        self._index = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """``True`` when every instruction has been consumed."""
+        return self._index >= len(self._trace)
+
+    @property
+    def remaining(self) -> int:
+        """Number of instructions not yet consumed."""
+        return len(self._trace) - self._index
+
+    @property
+    def consumed(self) -> int:
+        """Number of instructions already consumed."""
+        return self._index
+
+    def peek(self) -> Optional[Instruction]:
+        """Return the next instruction without consuming it, or ``None``."""
+        if self.exhausted:
+            return None
+        return self._trace[self._index]
+
+    def next(self) -> Optional[Instruction]:
+        """Consume and return the next instruction, or ``None`` at the end."""
+        if self.exhausted:
+            return None
+        instruction = self._trace[self._index]
+        self._index += 1
+        return instruction
+
+    def skip(self, count: int) -> int:
+        """Skip up to ``count`` instructions; returns how many were skipped.
+
+        Used by functional warm-up: the skipped prefix of the trace warms the
+        caches and branch predictors but is excluded from timing.
+        """
+        if count < 0:
+            raise ValueError("cannot skip a negative number of instructions")
+        skipped = min(count, self.remaining)
+        self._index += skipped
+        return skipped
+
+    def reset(self) -> None:
+        """Rewind the cursor to the beginning of the trace."""
+        self._index = 0
+
+
+@dataclass
+class Workload:
+    """A set of software threads and their mapping onto cores.
+
+    Attributes
+    ----------
+    name:
+        Human-readable workload name used in result tables (e.g. ``"mcf x4"``
+        or ``"fluidanimate (4 threads)"``).
+    traces:
+        One :class:`ThreadTrace` per software thread.
+    core_assignment:
+        ``core_assignment[i]`` is the core on which thread *i* runs.  By
+        default thread *i* runs on core *i*.
+    kind:
+        ``"single"``, ``"multiprogram"`` or ``"multithreaded"`` — recorded so
+        the experiment harness can pick the right metrics.
+    num_barriers:
+        For multi-threaded workloads, how many barrier episodes the trace
+        contains (0 otherwise).
+    """
+
+    name: str
+    traces: List[ThreadTrace]
+    core_assignment: Optional[List[int]] = None
+    kind: str = "single"
+    num_barriers: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.traces:
+            raise ValueError("a workload needs at least one thread trace")
+        if self.core_assignment is None:
+            self.core_assignment = list(range(len(self.traces)))
+        if len(self.core_assignment) != len(self.traces):
+            raise ValueError("core assignment must cover every thread")
+        if self.kind not in ("single", "multiprogram", "multithreaded"):
+            raise ValueError(f"unknown workload kind: {self.kind!r}")
+
+    @property
+    def num_threads(self) -> int:
+        """Number of software threads in the workload."""
+        return len(self.traces)
+
+    @property
+    def num_cores_required(self) -> int:
+        """Smallest machine (in cores) on which this workload fits."""
+        assert self.core_assignment is not None
+        return max(self.core_assignment) + 1
+
+    @property
+    def total_instructions(self) -> int:
+        """Total dynamic instruction count across all threads."""
+        return sum(len(trace) for trace in self.traces)
+
+    def threads_on_core(self, core_id: int) -> List[ThreadTrace]:
+        """Return the traces of all threads mapped to ``core_id``."""
+        assert self.core_assignment is not None
+        return [
+            trace
+            for trace, core in zip(self.traces, self.core_assignment)
+            if core == core_id
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Workload(name={self.name!r}, kind={self.kind!r}, "
+            f"threads={self.num_threads}, instructions={self.total_instructions})"
+        )

@@ -1,0 +1,130 @@
+"""Workload construction helpers used by examples, tests and experiments.
+
+The experiment harness needs three workload shapes:
+
+* single-threaded workloads (one SPEC-like program on one core) —
+  Figures 4, 5;
+* multi-program workloads (independent single-threaded programs, one per
+  core) — Figure 6 and the speedup study of Figure 9;
+* multi-threaded workloads (one PARSEC-like parallel program across cores) —
+  Figures 7, 8 and 10.
+
+Each helper is deterministic given its ``seed`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .multithreaded import generate_multithreaded_workload
+from .profiles import (
+    PARSEC_PROFILES,
+    SPEC_PROFILES,
+    WorkloadProfile,
+    parsec_profile,
+    spec_profile,
+)
+from .stream import ThreadTrace, Workload
+from .synthetic import generate_trace
+
+__all__ = [
+    "single_threaded_workload",
+    "homogeneous_multiprogram_workload",
+    "heterogeneous_multiprogram_workload",
+    "multithreaded_workload",
+]
+
+
+def _resolve_profile(benchmark: str) -> WorkloadProfile:
+    """Find a profile by name in either suite."""
+    if benchmark in SPEC_PROFILES:
+        return spec_profile(benchmark)
+    if benchmark in PARSEC_PROFILES:
+        return parsec_profile(benchmark)
+    raise KeyError(
+        f"unknown benchmark {benchmark!r}; known benchmarks: "
+        f"{sorted(SPEC_PROFILES) + sorted(PARSEC_PROFILES)}"
+    )
+
+
+def single_threaded_workload(
+    benchmark: str,
+    instructions: Optional[int] = None,
+    seed: int = 0,
+) -> Workload:
+    """Build a single-threaded workload for one SPEC-like benchmark."""
+    profile = _resolve_profile(benchmark)
+    trace = generate_trace(profile, num_instructions=instructions, seed=seed)
+    return Workload(name=benchmark, traces=[trace], kind="single")
+
+
+def homogeneous_multiprogram_workload(
+    benchmark: str,
+    copies: int,
+    instructions: Optional[int] = None,
+    seed: int = 0,
+) -> Workload:
+    """Build a homogeneous multi-program workload (Figure 6 style).
+
+    ``copies`` independent instances of the same benchmark run concurrently,
+    one per core.  Each copy uses a different generator seed so the copies
+    are not lock-step identical (they still stress the shared L2 similarly).
+    """
+    if copies <= 0:
+        raise ValueError("need at least one program copy")
+    profile = _resolve_profile(benchmark)
+    traces: List[ThreadTrace] = []
+    for copy_index in range(copies):
+        trace = generate_trace(
+            profile,
+            num_instructions=instructions,
+            seed=seed + copy_index,
+            thread_id=copy_index,
+        )
+        traces.append(trace)
+    return Workload(
+        name=f"{benchmark} x{copies}",
+        traces=traces,
+        core_assignment=list(range(copies)),
+        kind="multiprogram",
+    )
+
+
+def heterogeneous_multiprogram_workload(
+    benchmarks: Sequence[str],
+    instructions: Optional[int] = None,
+    seed: int = 0,
+) -> Workload:
+    """Build a heterogeneous multi-program workload (one program per core)."""
+    if not benchmarks:
+        raise ValueError("need at least one benchmark")
+    traces: List[ThreadTrace] = []
+    for index, benchmark in enumerate(benchmarks):
+        profile = _resolve_profile(benchmark)
+        traces.append(
+            generate_trace(
+                profile,
+                num_instructions=instructions,
+                seed=seed + index,
+                thread_id=index,
+            )
+        )
+    return Workload(
+        name="+".join(benchmarks),
+        traces=traces,
+        core_assignment=list(range(len(benchmarks))),
+        kind="multiprogram",
+    )
+
+
+def multithreaded_workload(
+    benchmark: str,
+    num_threads: int,
+    total_instructions: Optional[int] = None,
+    seed: int = 0,
+) -> Workload:
+    """Build a multi-threaded (PARSEC-like) workload across ``num_threads``."""
+    profile = parsec_profile(benchmark)
+    return generate_multithreaded_workload(
+        profile, num_threads, total_instructions=total_instructions, seed=seed
+    )

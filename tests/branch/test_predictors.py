@@ -1,0 +1,186 @@
+"""Tests for the branch-predictor simulators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.branch import (
+    BranchTargetBuffer,
+    GSharePredictor,
+    LocalPredictor,
+    PerfectPredictor,
+    ReturnAddressStack,
+    StaticPredictor,
+    TournamentPredictor,
+    create_branch_predictor,
+)
+from repro.common.config import BranchPredictorConfig
+from repro.common.isa import Instruction, InstructionClass
+
+
+def branch(pc: int, taken: bool, target: int = 0x5000, is_call=False, is_return=False):
+    return Instruction(
+        seq=0, pc=pc, klass=InstructionClass.BRANCH,
+        is_taken=taken, branch_target=target, is_call=is_call, is_return=is_return,
+    )
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=64, associativity=4)
+        assert btb.lookup(0x4000) is None
+        btb.update(0x4000, 0x5000)
+        assert btb.lookup(0x4000) == 0x5000
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(entries=4, associativity=2)
+        num_sets = btb.num_sets
+        # Fill one set with three distinct branches mapping to the same set.
+        pcs = [0x1000, 0x1000 + 4 * num_sets, 0x1000 + 8 * num_sets]
+        for pc in pcs:
+            btb.update(pc, pc + 0x100)
+        assert btb.lookup(pcs[0]) is None  # evicted (oldest)
+        assert btb.lookup(pcs[2]) == pcs[2] + 0x100
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(entries=64, associativity=4)
+        btb.update(0x4000, 0x5000)
+        btb.update(0x4000, 0x6000)
+        assert btb.lookup(0x4000) == 0x6000
+
+    def test_flush(self):
+        btb = BranchTargetBuffer(entries=64, associativity=4)
+        btb.update(0x4000, 0x5000)
+        btb.flush()
+        assert btb.lookup(0x4000) is None
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, associativity=4)
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(entries=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(entries=2)
+        ras.push(0x1)
+        ras.push(0x2)
+        ras.push(0x3)
+        assert len(ras) == 2
+        assert ras.pop() == 0x3
+        assert ras.pop() == 0x2
+        assert ras.pop() is None
+
+
+class TestPerfectAndStatic:
+    def test_perfect_always_correct(self):
+        predictor = PerfectPredictor()
+        for taken in (True, False, True):
+            assert predictor.access(branch(0x4000, taken))
+        assert predictor.stats.mispredictions == 0
+        assert predictor.stats.lookups == 3
+
+    def test_static_not_taken_mispredicts_taken_branches(self):
+        predictor = StaticPredictor(predict_taken=False)
+        assert predictor.access(branch(0x4000, taken=False))
+        assert not predictor.access(branch(0x4000, taken=True))
+        assert predictor.stats.direction_mispredictions == 1
+
+
+class TestLocalPredictor:
+    def test_learns_always_taken_branch(self):
+        predictor = LocalPredictor()
+        results = [predictor.access(branch(0x4000, True)) for _ in range(50)]
+        # After warm-up the predictor should be consistently correct.
+        assert all(results[10:])
+
+    def test_learns_alternating_pattern(self):
+        predictor = LocalPredictor()
+        outcomes = [bool(i % 2) for i in range(200)]
+        results = [predictor.access(branch(0x4000, taken)) for taken in outcomes]
+        # Local history captures the period-2 pattern after training.
+        assert all(results[50:])
+
+    def test_random_branch_hard_to_predict(self):
+        predictor = LocalPredictor()
+        rng = random.Random(1)
+        mispredictions = 0
+        trials = 600
+        for _ in range(trials):
+            if not predictor.access(branch(0x4000, rng.random() < 0.5)):
+                mispredictions += 1
+        assert mispredictions / trials > 0.2
+
+    def test_btb_miss_counts_as_misprediction(self):
+        predictor = LocalPredictor()
+        # Train the direction but the first taken occurrence has no BTB entry.
+        first = predictor.access(branch(0x8000, True, target=0x9000))
+        # Whatever the direction guess, the first taken branch misses the BTB
+        # unless direction was also wrong; re-execute to confirm it now hits.
+        for _ in range(10):
+            predictor.access(branch(0x8000, True, target=0x9000))
+        assert predictor.access(branch(0x8000, True, target=0x9000))
+
+    def test_return_uses_ras(self):
+        predictor = LocalPredictor()
+        call = branch(0x4000, True, target=0x9000, is_call=True)
+        for _ in range(5):
+            predictor.access(call)
+        ret = branch(0x9100, True, target=0x4004, is_return=True)
+        predictor.access(branch(0x4000, True, target=0x9000, is_call=True))
+        assert predictor.access(ret)
+
+    def test_misprediction_rate_bounded(self):
+        predictor = LocalPredictor()
+        rng = random.Random(7)
+        for i in range(500):
+            predictor.access(branch(0x4000 + 16 * (i % 8), rng.random() < 0.9))
+        assert 0.0 <= predictor.stats.misprediction_rate <= 1.0
+
+
+class TestGshareAndTournament:
+    def test_gshare_learns_biased_branch(self):
+        predictor = GSharePredictor()
+        results = [predictor.access(branch(0x4000, True)) for _ in range(100)]
+        assert sum(results[20:]) >= 75
+
+    def test_tournament_at_least_as_good_as_components_on_bias(self):
+        predictor = TournamentPredictor()
+        results = [predictor.access(branch(0x4000, True)) for _ in range(100)]
+        assert all(results[20:])
+
+    def test_gshare_global_history_length(self):
+        config = BranchPredictorConfig(kind="gshare", global_history_bits=8)
+        predictor = GSharePredictor(config)
+        assert len(predictor._counters) == 256
+
+
+class TestFactory:
+    def test_perfect_override(self):
+        assert isinstance(create_branch_predictor(perfect=True), PerfectPredictor)
+
+    def test_default_is_local(self):
+        assert isinstance(create_branch_predictor(), LocalPredictor)
+
+    @pytest.mark.parametrize(
+        "kind, cls",
+        [
+            ("local", LocalPredictor),
+            ("gshare", GSharePredictor),
+            ("tournament", TournamentPredictor),
+            ("perfect", PerfectPredictor),
+            ("static", StaticPredictor),
+        ],
+    )
+    def test_kind_selection(self, kind, cls):
+        config = BranchPredictorConfig(kind=kind)
+        assert isinstance(create_branch_predictor(config), cls)

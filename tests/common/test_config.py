@@ -1,0 +1,173 @@
+"""Tests for the machine-configuration substrate (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    MemoryConfig,
+    PerfectStructures,
+    TLBConfig,
+    default_machine_config,
+    dualcore_l2_config,
+    quadcore_3d_stacked_config,
+)
+from repro.common.isa import InstructionClass
+
+
+class TestCacheConfig:
+    def test_table1_l1_geometry(self):
+        cache = CacheConfig(size_bytes=32 * 1024, associativity=4, line_size=64)
+        assert cache.num_sets == 128
+        assert cache.num_lines == 512
+
+    def test_table1_l2_geometry(self):
+        cache = CacheConfig(size_bytes=4 * 1024 * 1024, associativity=8, line_size=64)
+        assert cache.num_sets == 8192
+        assert cache.num_lines == 65536
+
+    def test_rejects_non_power_of_two_line_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=32 * 1024, associativity=4, line_size=48)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, associativity=4)
+
+    def test_rejects_size_not_multiple_of_way_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=4, line_size=64)
+
+
+class TestTLBConfig:
+    def test_default_geometry(self):
+        tlb = TLBConfig()
+        assert tlb.num_sets * tlb.associativity == tlb.entries
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            TLBConfig(page_size=3000)
+
+    def test_rejects_entries_not_multiple_of_associativity(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=130, associativity=4)
+
+
+class TestCoreConfig:
+    def test_table1_defaults(self):
+        core = CoreConfig()
+        assert core.rob_entries == 256
+        assert core.issue_queue_entries == 128
+        assert core.load_store_queue_entries == 128
+        assert core.store_buffer_entries == 64
+        assert core.dispatch_width == 4
+        assert core.issue_width == 6
+        assert core.fetch_width == 8
+        assert core.frontend_pipeline_depth == 7
+
+    def test_table1_latencies(self):
+        core = CoreConfig()
+        assert core.latency_of(InstructionClass.LOAD) == 2
+        assert core.latency_of(InstructionClass.INT_MUL) == 3
+        assert core.latency_of(InstructionClass.FP_ALU) == 4
+        assert core.latency_of(InstructionClass.INT_DIV) == 20
+
+    def test_rejects_zero_dispatch_width(self):
+        with pytest.raises(ValueError):
+            CoreConfig(dispatch_width=0)
+
+    def test_branch_predictor_table1(self):
+        predictor = BranchPredictorConfig()
+        assert predictor.btb_entries == 2048
+        assert predictor.btb_associativity == 8
+        assert predictor.ras_entries == 32
+
+    def test_unknown_predictor_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(kind="neural")
+
+
+class TestMemoryConfig:
+    def test_table1_memory_subsystem(self):
+        memory = MemoryConfig()
+        assert memory.l1i.size_bytes == 32 * 1024
+        assert memory.l1d.size_bytes == 32 * 1024
+        assert memory.l2 is not None and memory.l2.size_bytes == 4 * 1024 * 1024
+        assert memory.l2.hit_latency == 12
+        assert memory.coherence_protocol == "MOESI"
+        assert memory.dram_latency == 150
+
+    def test_peak_bandwidth_close_to_paper(self):
+        memory = MemoryConfig()
+        # Table 1 quotes 10.6 GB/s peak bandwidth.
+        assert memory.peak_bandwidth_gbs == pytest.approx(10.6, rel=0.05)
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(coherence_protocol="TOKEN")
+
+
+class TestMachineConfig:
+    def test_default_machine_single_core(self):
+        machine = default_machine_config()
+        assert machine.num_cores == 1
+
+    def test_with_cores_returns_copy(self):
+        machine = default_machine_config()
+        eight = machine.with_cores(8)
+        assert eight.num_cores == 8
+        assert machine.num_cores == 1
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_cores=0)
+
+    def test_configs_are_frozen(self):
+        machine = default_machine_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            machine.num_cores = 2  # type: ignore[misc]
+
+
+class TestPerfectStructures:
+    def test_dispatch_rate_study_only_l1d_nonperfect(self):
+        perfect = PerfectStructures.dispatch_rate_study()
+        assert perfect.branch_predictor and perfect.l1i and perfect.l2
+        assert not perfect.l1d
+
+    def test_icache_study_instruction_side_nonperfect(self):
+        perfect = PerfectStructures.icache_study()
+        assert not perfect.l1i and not perfect.itlb
+        assert perfect.l1d and perfect.branch_predictor
+
+    def test_branch_study_only_predictor_nonperfect(self):
+        perfect = PerfectStructures.branch_study()
+        assert not perfect.branch_predictor
+        assert perfect.l1i and perfect.l1d and perfect.l2
+
+    def test_l2_study_data_side_nonperfect(self):
+        perfect = PerfectStructures.l2_study()
+        assert not perfect.l1d and not perfect.l2
+        assert perfect.branch_predictor and perfect.l1i
+
+
+class TestCaseStudyConfigs:
+    def test_dualcore_has_l2_and_narrow_bus(self):
+        machine = dualcore_l2_config()
+        assert machine.num_cores == 2
+        assert machine.memory.l2 is not None
+        assert machine.memory.dram_latency == 150
+        assert machine.memory.memory_bus_width_bytes == 16
+
+    def test_quadcore_3d_has_no_l2_and_wide_bus(self):
+        machine = quadcore_3d_stacked_config()
+        assert machine.num_cores == 4
+        assert machine.memory.l2 is None
+        assert machine.memory.dram_latency == 125
+        assert machine.memory.memory_bus_width_bytes == 128
+        assert machine.memory.memory_bus_bytes_per_cycle > dualcore_l2_config().memory.memory_bus_bytes_per_cycle

@@ -1,0 +1,130 @@
+"""Tests for the instruction model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.isa import (
+    DEFAULT_EXECUTION_LATENCIES,
+    Instruction,
+    InstructionClass,
+    InstructionMix,
+    SyncKind,
+    execution_latency,
+    is_memory_class,
+)
+
+
+def make_load(addr=0x1000, dst=5, srcs=(2,), size=8, seq=0):
+    return Instruction(
+        seq=seq, pc=0x400000, klass=InstructionClass.LOAD,
+        src_regs=srcs, dst_reg=dst, mem_addr=addr, mem_size=size,
+    )
+
+
+def make_store(addr=0x1000, srcs=(2, 3), size=8, seq=0):
+    return Instruction(
+        seq=seq, pc=0x400004, klass=InstructionClass.STORE,
+        src_regs=srcs, dst_reg=None, mem_addr=addr, mem_size=size,
+    )
+
+
+class TestPredicates:
+    def test_load_predicates(self):
+        load = make_load()
+        assert load.is_load and load.is_memory
+        assert not load.is_store and not load.is_branch and not load.is_serializing
+
+    def test_store_predicates(self):
+        store = make_store()
+        assert store.is_store and store.is_memory and not store.is_load
+
+    def test_branch_predicates(self):
+        branch = Instruction(0, 0x400000, InstructionClass.BRANCH, is_taken=True)
+        assert branch.is_branch and not branch.is_memory
+
+    def test_serializing_predicate(self):
+        barrier = Instruction(0, 0x400000, InstructionClass.SERIALIZING)
+        assert barrier.is_serializing
+
+    def test_sync_predicate(self):
+        sync = Instruction(0, 0x400000, InstructionClass.SYNC, sync=SyncKind.BARRIER)
+        assert sync.is_sync
+
+
+class TestLatencies:
+    def test_table1_latencies_present(self):
+        assert DEFAULT_EXECUTION_LATENCIES[InstructionClass.LOAD] == 2
+        assert DEFAULT_EXECUTION_LATENCIES[InstructionClass.INT_DIV] == 20
+
+    def test_execution_latency_override(self):
+        custom = {InstructionClass.LOAD: 5}
+        assert execution_latency(InstructionClass.LOAD, custom) == 5
+        assert execution_latency(InstructionClass.INT_ALU, custom) == 1
+
+    def test_instruction_base_latency(self):
+        assert make_load().base_latency() == 2
+
+    def test_is_memory_class(self):
+        assert is_memory_class(InstructionClass.LOAD)
+        assert is_memory_class(InstructionClass.STORE)
+        assert not is_memory_class(InstructionClass.BRANCH)
+
+
+class TestDependences:
+    def test_register_dependence(self):
+        producer = make_load(dst=7)
+        consumer = Instruction(1, 0x400008, InstructionClass.INT_ALU, src_regs=(7, 3), dst_reg=9)
+        assert consumer.depends_on(producer)
+
+    def test_no_register_dependence(self):
+        producer = make_load(dst=7)
+        consumer = Instruction(1, 0x400008, InstructionClass.INT_ALU, src_regs=(4, 3), dst_reg=9)
+        assert not consumer.depends_on(producer)
+
+    def test_store_to_load_memory_dependence(self):
+        store = make_store(addr=0x2000, size=8)
+        load = make_load(addr=0x2004, srcs=(1,), size=8, seq=1)
+        assert load.depends_on(store)
+
+    def test_disjoint_memory_accesses_independent(self):
+        store = make_store(addr=0x2000, size=8)
+        load = make_load(addr=0x3000, srcs=(1,), size=8, seq=1)
+        assert not load.depends_on(store)
+
+    def test_load_load_no_memory_dependence(self):
+        first = make_load(addr=0x2000, dst=5)
+        second = make_load(addr=0x2000, dst=6, srcs=(1,), seq=1)
+        # Two loads to the same address do not depend on each other.
+        assert not second.depends_on(first)
+
+
+class TestInstructionMix:
+    def test_normalized_sums_to_one(self):
+        mix = InstructionMix(load=0.3, store=0.1, branch=0.2, int_alu=0.8)
+        weights = mix.normalized().as_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_normalization_preserves_ratios(self):
+        mix = InstructionMix(load=0.4, store=0.2, branch=0.0, int_alu=0.4,
+                             int_mul=0, int_div=0, fp_alu=0, fp_mul=0, fp_div=0,
+                             serializing=0)
+        normalized = mix.normalized()
+        assert normalized.load == pytest.approx(2 * normalized.store)
+
+    def test_zero_mix_rejected(self):
+        empty = InstructionMix(int_alu=0, int_mul=0, int_div=0, fp_alu=0, fp_mul=0,
+                               fp_div=0, load=0, store=0, branch=0, serializing=0)
+        with pytest.raises(ValueError):
+            empty.normalized()
+
+    @given(
+        load=st.floats(0.01, 1.0),
+        store=st.floats(0.01, 1.0),
+        branch=st.floats(0.01, 1.0),
+        alu=st.floats(0.01, 1.0),
+    )
+    def test_normalized_always_sums_to_one(self, load, store, branch, alu):
+        mix = InstructionMix(load=load, store=store, branch=branch, int_alu=alu)
+        assert sum(mix.normalized().as_weights().values()) == pytest.approx(1.0)

@@ -1,0 +1,112 @@
+"""Tests for the STP/ANTT/error/speedup metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.metrics import (
+    average_error,
+    average_normalized_turnaround_time,
+    maximum_error,
+    normalized_progress,
+    percentage_error,
+    speedup,
+    summarize_errors,
+    system_throughput,
+)
+
+
+class TestNormalizedProgress:
+    def test_no_interference(self):
+        assert normalized_progress([100, 100], [100, 100]) == [1.0, 1.0]
+
+    def test_slowdown(self):
+        assert normalized_progress([100], [200]) == [0.5]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_progress([100], [100, 200])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_progress([0], [100])
+
+
+class TestSTPandANTT:
+    def test_stp_equals_n_without_interference(self):
+        assert system_throughput([100] * 4, [100] * 4) == pytest.approx(4.0)
+
+    def test_antt_is_one_without_interference(self):
+        assert average_normalized_turnaround_time([100] * 4, [100] * 4) == pytest.approx(1.0)
+
+    def test_stp_decreases_with_interference(self):
+        alone = [100, 100]
+        assert system_throughput(alone, [150, 150]) < system_throughput(alone, [110, 110])
+
+    def test_antt_increases_with_interference(self):
+        alone = [100, 100]
+        assert average_normalized_turnaround_time(alone, [150, 150]) > \
+            average_normalized_turnaround_time(alone, [110, 110])
+
+    def test_antt_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_normalized_turnaround_time([], [])
+
+    @given(st.lists(st.floats(1.0, 1e6), min_size=1, max_size=8),
+           st.floats(1.0, 10.0))
+    def test_uniform_slowdown_properties(self, cycles, factor):
+        slowed = [c * factor for c in cycles]
+        stp = system_throughput(cycles, slowed)
+        antt = average_normalized_turnaround_time(cycles, slowed)
+        assert stp == pytest.approx(len(cycles) / factor, rel=1e-6)
+        assert antt == pytest.approx(factor, rel=1e-6)
+
+    @given(st.lists(st.floats(1.0, 1e6), min_size=1, max_size=8))
+    def test_stp_bounded_by_core_count(self, cycles):
+        # Co-running can only slow programs down, so STP <= n when multi >= single.
+        multi = [c * 1.5 for c in cycles]
+        assert system_throughput(cycles, multi) <= len(cycles) + 1e-9
+
+
+class TestErrors:
+    def test_percentage_error_signed(self):
+        assert percentage_error(110, 100) == pytest.approx(10.0)
+        assert percentage_error(90, 100) == pytest.approx(-10.0)
+
+    def test_percentage_error_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            percentage_error(1.0, 0.0)
+
+    def test_average_and_max_error(self):
+        estimates = [1.1, 0.9, 1.0]
+        references = [1.0, 1.0, 1.0]
+        assert average_error(estimates, references) == pytest.approx(20.0 / 3)
+        assert maximum_error(estimates, references) == pytest.approx(10.0)
+
+    def test_empty_error_lists_rejected(self):
+        with pytest.raises(ValueError):
+            average_error([], [])
+        with pytest.raises(ValueError):
+            maximum_error([], [])
+
+    def test_summarize_errors(self):
+        summary = summarize_errors({"a": 1.05, "b": 0.95}, {"a": 1.0, "b": 1.0})
+        assert summary.average == pytest.approx(5.0)
+        assert summary.maximum == pytest.approx(5.0)
+        assert set(summary.per_benchmark) == {"a", "b"}
+
+    def test_summarize_errors_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors({"a": 1.0}, {"b": 1.0})
+
+
+class TestSpeedup:
+    def test_speedup(self):
+        assert speedup(10.0, 1.0) == pytest.approx(10.0)
+
+    def test_speedup_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)

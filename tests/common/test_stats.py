@@ -1,0 +1,120 @@
+"""Tests for statistics collection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.stats import CoreStats, Counter, SimulationStats, Stopwatch
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("events")
+        counter.increment()
+        counter.increment(3)
+        assert int(counter) == 4
+
+    def test_reset(self):
+        counter = Counter("events", value=5)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestCoreStats:
+    def test_ipc_and_cpi(self):
+        stats = CoreStats(instructions=200, cycles=100)
+        assert stats.ipc == pytest.approx(2.0)
+        assert stats.cpi == pytest.approx(0.5)
+
+    def test_zero_division_guards(self):
+        stats = CoreStats()
+        assert stats.ipc == 0.0
+        assert stats.cpi == 0.0
+        assert stats.branch_misprediction_rate == 0.0
+        assert stats.l1d_miss_rate == 0.0
+
+    def test_rates(self):
+        stats = CoreStats(branch_lookups=100, branch_mispredictions=5,
+                          dcache_accesses=50, l1d_misses=10)
+        assert stats.branch_misprediction_rate == pytest.approx(0.05)
+        assert stats.l1d_miss_rate == pytest.approx(0.2)
+
+    def test_merge_accumulates(self):
+        a = CoreStats(instructions=10, cycles=20, l1d_misses=1)
+        b = CoreStats(instructions=30, cycles=40, l1d_misses=2)
+        a.merge(b)
+        assert a.instructions == 40
+        assert a.cycles == 60
+        assert a.l1d_misses == 3
+
+    def test_as_dict_contains_derived_metrics(self):
+        stats = CoreStats(instructions=10, cycles=20)
+        data = stats.as_dict()
+        assert data["ipc"] == pytest.approx(0.5)
+        assert "branch_misprediction_rate" in data
+
+    def test_cpi_stack_normalization(self):
+        stats = CoreStats(
+            instructions=100,
+            cycles=300,
+            base_cycles=100,
+            branch_penalty_cycles=50,
+            long_load_penalty_cycles=150,
+        )
+        stack = stats.cpi_stack()
+        assert stack["base"] == pytest.approx(1.0)
+        assert stack["branch"] == pytest.approx(0.5)
+        assert stack["memory"] == pytest.approx(1.5)
+
+    def test_cpi_stack_empty_without_instructions(self):
+        assert CoreStats().cpi_stack() == {}
+
+
+class TestSimulationStats:
+    def test_aggregate_ipc(self):
+        stats = SimulationStats(
+            cores=[CoreStats(instructions=100, cycles=100),
+                   CoreStats(core_id=1, instructions=100, cycles=100)],
+            total_cycles=100,
+        )
+        assert stats.total_instructions == 200
+        assert stats.aggregate_ipc == pytest.approx(2.0)
+
+    def test_empty_run(self):
+        stats = SimulationStats()
+        assert stats.aggregate_ipc == 0.0
+        assert stats.simulated_kips() == 0.0
+
+    def test_simulated_kips(self):
+        stats = SimulationStats(
+            cores=[CoreStats(instructions=50_000, cycles=1)],
+            wall_clock_seconds=2.0,
+        )
+        assert stats.simulated_kips() == pytest.approx(25.0)
+
+    def test_as_dict_round_trip(self):
+        stats = SimulationStats(
+            cores=[CoreStats(instructions=10, cycles=10)],
+            total_cycles=10,
+            simulator="interval",
+        )
+        data = stats.as_dict()
+        assert data["simulator"] == "interval"
+        assert data["total_instructions"] == 10
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        with Stopwatch() as watch:
+            total = sum(range(10_000))
+        assert total > 0
+        assert watch.elapsed > 0.0
+
+    def test_accumulates_across_starts(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        first = watch.elapsed
+        watch.start()
+        watch.stop()
+        assert watch.elapsed >= first

@@ -1,0 +1,120 @@
+"""Tests for the per-figure experiment drivers (scaled-down budgets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    compare_simulators,
+    render_table,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9_spec_speedup,
+    run_old_window_ablation,
+    run_sub_experiment,
+)
+from repro.common.config import default_machine_config
+from repro.trace.workloads import single_threaded_workload
+
+
+TINY = ExperimentConfig(instructions=6_000, warmup_instructions=2_000, benchmarks=["gcc", "mcf"])
+
+
+class TestExperimentConfig:
+    def test_select_defaults_to_full_list(self):
+        config = ExperimentConfig()
+        assert config.select(["a", "b"]) == ["a", "b"]
+
+    def test_select_filters_and_preserves_order(self):
+        config = ExperimentConfig(benchmarks=["mcf", "gcc"])
+        assert config.select(["gcc", "mcf", "art"]) == ["gcc", "mcf"]
+
+    def test_select_rejects_unknown(self):
+        config = ExperimentConfig(benchmarks=["quake3"])
+        with pytest.raises(ValueError):
+            config.select(["gcc"])
+
+
+class TestRunnerHelpers:
+    def test_compare_simulators_produces_both_runs(self):
+        machine = default_machine_config(1)
+        workload = single_threaded_workload("gcc", instructions=4000, seed=1)
+        result = compare_simulators(machine, workload, TINY)
+        assert result.interval.simulator == "interval"
+        assert result.detailed.simulator == "detailed"
+        assert result.interval_ipc > 0 and result.detailed_ipc > 0
+        assert result.simulation_speedup > 0
+
+    def test_render_table_formats_rows(self):
+        table = render_table(["name", "value"], [("x", 1.23456), ("long-name", 2)], title="T")
+        assert "T" in table
+        assert "1.235" in table
+        assert "long-name" in table
+
+
+class TestFigureDrivers:
+    def test_figure4_sub_experiment(self):
+        results = run_sub_experiment("branch", TINY)
+        assert {r.name for r in results} == {"gcc", "mcf"}
+        for result in results:
+            assert result.interval_ipc > 0
+
+    def test_figure4_unknown_sub_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_sub_experiment("prefetcher", TINY)
+
+    def test_figure5(self):
+        result = run_figure5(TINY)
+        assert len(result.results) == 2
+        summary = result.error_summary
+        assert summary.average >= 0
+        assert "Figure 5" in result.render()
+
+    def test_figure6(self):
+        config = ExperimentConfig(instructions=5_000, warmup_instructions=2_000,
+                                  benchmarks=["gcc"])
+        result = run_figure6(config, copy_counts=(1, 2))
+        assert len(result.points) == 2
+        for point in result.points:
+            # Normalized progress can exceed 1 by a whisker (second-order
+            # interleaving effects); STP stays essentially bounded by the
+            # number of co-running programs.
+            assert 0 < point.interval_stp <= point.copies * 1.05
+            assert point.interval_antt > 0.9
+        assert "STP" in result.render()
+
+    def test_figure7(self):
+        config = ExperimentConfig(instructions=8_000, warmup_instructions=3_000,
+                                  benchmarks=["blackscholes"])
+        result = run_figure7(config, core_counts=(1, 2))
+        assert len(result.points) == 2
+        assert result.points[0].detailed_normalized == pytest.approx(1.0)
+        assert result.average_error >= 0
+
+    def test_figure8(self):
+        config = ExperimentConfig(instructions=8_000, warmup_instructions=3_000,
+                                  benchmarks=["swaptions"])
+        result = run_figure8(config)
+        assert len(result.points) == 1
+        point = result.points[0]
+        assert point.decisions_agree in (True, False)
+        assert 0 <= result.agreement_rate <= 1
+
+    def test_figure9_speedup(self):
+        config = ExperimentConfig(instructions=5_000, warmup_instructions=2_000,
+                                  benchmarks=["gcc"])
+        result = run_figure9_spec_speedup(config, core_counts=(1, 2))
+        assert len(result.points) == 2
+        for point in result.points:
+            assert point.interval_seconds > 0 and point.detailed_seconds > 0
+
+    def test_old_window_ablation(self):
+        config = ExperimentConfig(instructions=6_000, warmup_instructions=2_000,
+                                  benchmarks=["vpr", "gcc"])
+        result = run_old_window_ablation(config)
+        assert len(result.points) == 2
+        assert result.average_full_error >= 0
+        assert result.average_ablated_error >= 0

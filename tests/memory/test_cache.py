@@ -1,0 +1,150 @@
+"""Tests for the set-associative cache model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CacheConfig
+from repro.memory.cache import CoherenceState, SetAssociativeCache
+
+
+def make_cache(size=1024, ways=2, line=64):
+    return SetAssociativeCache(CacheConfig(size_bytes=size, associativity=ways, line_size=line))
+
+
+class TestCoherenceState:
+    def test_validity(self):
+        assert not CoherenceState.INVALID.is_valid
+        assert CoherenceState.SHARED.is_valid
+
+    def test_dirty_states(self):
+        assert CoherenceState.MODIFIED.is_dirty
+        assert CoherenceState.OWNED.is_dirty
+        assert not CoherenceState.SHARED.is_dirty
+        assert not CoherenceState.EXCLUSIVE.is_dirty
+
+    def test_suppliers(self):
+        assert CoherenceState.MODIFIED.can_supply
+        assert CoherenceState.OWNED.can_supply
+        assert not CoherenceState.SHARED.can_supply
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(0x1000) is None
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000) is not None
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+
+    def test_same_line_offsets_hit(self):
+        cache = make_cache(line=64)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1004) is not None
+        assert cache.lookup(0x103F) is not None
+        assert cache.lookup(0x1040) is None
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(size=256, ways=2, line=64)  # 2 sets of 2 ways
+        sets = cache.config.num_sets
+        a, b, c = 0x0, 64 * sets, 2 * 64 * sets  # same set
+        cache.fill(a)
+        cache.fill(b)
+        cache.lookup(a)          # touch a so b becomes LRU
+        victim = cache.fill(c)   # evicts b
+        assert victim is not None
+        assert cache.probe(a) is not None
+        assert cache.probe(b) is None
+        assert cache.probe(c) is not None
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = make_cache(size=128, ways=1, line=64)
+        sets = cache.config.num_sets
+        cache.fill(0x0, CoherenceState.MODIFIED)
+        cache.fill(64 * sets)  # same set, evicts the dirty line
+        assert cache.stats.writebacks == 1
+
+    def test_fill_existing_line_updates_state(self):
+        cache = make_cache()
+        cache.fill(0x1000, CoherenceState.SHARED)
+        cache.fill(0x1000, CoherenceState.MODIFIED)
+        line = cache.probe(0x1000)
+        assert line is not None and line.state == CoherenceState.MODIFIED
+
+    def test_probe_does_not_count_access(self):
+        cache = make_cache()
+        cache.probe(0x1000)
+        assert cache.stats.accesses == 0
+
+
+class TestCoherenceHooks:
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(0x1000, CoherenceState.SHARED)
+        assert cache.invalidate_line(0x1000)
+        assert cache.probe(0x1000) is None
+        assert cache.stats.invalidations_received == 1
+
+    def test_invalidate_absent_line(self):
+        cache = make_cache()
+        assert not cache.invalidate_line(0x1000)
+
+    def test_downgrade_modified_to_owned(self):
+        cache = make_cache()
+        cache.fill(0x1000, CoherenceState.MODIFIED)
+        assert cache.downgrade_line(0x1000)
+        assert cache.probe(0x1000).state == CoherenceState.OWNED
+
+    def test_downgrade_exclusive_to_shared(self):
+        cache = make_cache()
+        cache.fill(0x1000, CoherenceState.EXCLUSIVE)
+        cache.downgrade_line(0x1000)
+        assert cache.probe(0x1000).state == CoherenceState.SHARED
+
+    def test_set_state(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.set_state(0x1000, CoherenceState.SHARED)
+        assert not cache.set_state(0x9999000, CoherenceState.SHARED)
+
+
+class TestOccupancyAndFlush:
+    def test_occupancy_bounded_by_capacity(self):
+        cache = make_cache(size=512, ways=2, line=64)
+        for i in range(100):
+            cache.fill(i * 64)
+        assert cache.occupancy <= cache.config.num_lines
+
+    def test_flush_empties_cache(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        cache.flush()
+        assert cache.occupancy == 0
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_invariant_under_random_fills(self, addresses):
+        cache = make_cache(size=1024, ways=4, line=64)
+        for address in addresses:
+            cache.fill(address)
+        assert cache.occupancy <= cache.config.num_lines
+        # Every address filled most recently in its set must still be present.
+        assert cache.probe(addresses[-1]) is not None
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = make_cache(size=2048, ways=4, line=64)
+        for address in addresses:
+            cache.lookup(address)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+    def test_small_cache_thrashes_large_working_set(self):
+        small = make_cache(size=256, ways=2, line=64)
+        working_set = [i * 64 for i in range(64)]
+        for _ in range(4):
+            for address in working_set:
+                small.lookup(address) or small.fill(address)
+        assert small.stats.miss_rate > 0.9

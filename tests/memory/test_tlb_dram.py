@@ -1,0 +1,99 @@
+"""Tests for the TLB and main-memory (DRAM/bandwidth) models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import MemoryConfig, TLBConfig
+from repro.memory.dram import MainMemory
+from repro.memory.tlb import TLB
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(TLBConfig(entries=8, associativity=2, page_size=4096))
+        assert not tlb.access(0x1000)
+        assert tlb.access(0x1008)  # same page
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 1
+
+    def test_distinct_pages_miss(self):
+        tlb = TLB(TLBConfig(entries=8, associativity=2, page_size=4096))
+        tlb.access(0x1000)
+        assert not tlb.access(0x2000)
+
+    def test_capacity_eviction(self):
+        tlb = TLB(TLBConfig(entries=4, associativity=1, page_size=4096))
+        sets = tlb.config.num_sets
+        pages = [i * 4096 * sets for i in range(3)]  # same set
+        for page in pages:
+            tlb.access(page)
+        assert not tlb.probe(pages[0])
+        assert tlb.probe(pages[-1])
+
+    def test_working_set_within_reach_hits(self):
+        tlb = TLB(TLBConfig(entries=128, associativity=4, page_size=8192))
+        pages = [i * 8192 for i in range(64)]
+        for page in pages:
+            tlb.access(page)
+        hits_before = tlb.stats.hits
+        for page in pages:
+            assert tlb.access(page)
+        assert tlb.stats.hits == hits_before + len(pages)
+
+    def test_flush(self):
+        tlb = TLB(TLBConfig())
+        tlb.access(0x1000)
+        tlb.flush()
+        assert not tlb.probe(0x1000)
+
+
+class TestMainMemory:
+    def test_unloaded_latency(self):
+        memory = MainMemory(MemoryConfig(), line_size=64)
+        latency = memory.access(now=0)
+        assert latency == 150 + memory.transfer_cycles
+
+    def test_bandwidth_queueing(self):
+        config = MemoryConfig(memory_bus_bytes_per_cycle=4.0)
+        memory = MainMemory(config, line_size=64)  # 16 cycles per transfer
+        first = memory.access(now=0)
+        second = memory.access(now=0)
+        assert second == first + memory.transfer_cycles
+        assert memory.stats.total_queue_delay == memory.transfer_cycles
+
+    def test_no_queueing_when_spread_out(self):
+        memory = MainMemory(MemoryConfig(), line_size=64)
+        memory.access(now=0)
+        latency = memory.access(now=1000)
+        assert latency == 150 + memory.transfer_cycles
+
+    def test_wide_3d_bus_transfers_faster(self):
+        narrow = MainMemory(MemoryConfig(memory_bus_bytes_per_cycle=4.0), line_size=64)
+        wide = MainMemory(MemoryConfig(memory_bus_bytes_per_cycle=32.0), line_size=64)
+        assert wide.transfer_cycles < narrow.transfer_cycles
+
+    def test_peek_does_not_reserve(self):
+        memory = MainMemory(MemoryConfig(), line_size=64)
+        peeked = memory.peek_latency(now=0)
+        assert memory.access(now=0) == peeked
+        assert memory.stats.accesses == 1
+
+    def test_utilization(self):
+        memory = MainMemory(MemoryConfig(), line_size=64)
+        for cycle in range(0, 160, 16):
+            memory.access(now=cycle)
+        assert 0.0 < memory.utilization(320) <= 1.0
+        assert memory.utilization(0) == 0.0
+
+    def test_reset(self):
+        memory = MainMemory(MemoryConfig(), line_size=64)
+        memory.access(now=0)
+        memory.reset()
+        assert memory.stats.accesses == 0
+        assert memory.access(now=0) == 150 + memory.transfer_cycles
+
+    def test_negative_time_rejected(self):
+        memory = MainMemory(MemoryConfig(), line_size=64)
+        with pytest.raises(ValueError):
+            memory.access(now=-1)

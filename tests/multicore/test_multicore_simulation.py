@@ -1,0 +1,128 @@
+"""Integration tests: multi-program and multi-threaded simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import default_machine_config
+from repro.core import IntervalSimulator
+from repro.detailed import DetailedSimulator
+from repro.trace.workloads import (
+    heterogeneous_multiprogram_workload,
+    homogeneous_multiprogram_workload,
+    multithreaded_workload,
+)
+
+
+SIMULATORS = [IntervalSimulator, DetailedSimulator]
+
+
+class TestMultiProgram:
+    @pytest.mark.parametrize("simulator_cls", SIMULATORS)
+    def test_two_programs_complete(self, simulator_cls):
+        machine = default_machine_config(2)
+        workload = homogeneous_multiprogram_workload("gzip", copies=2, instructions=4000, seed=1)
+        stats = simulator_cls(machine).run(workload, max_cycles=5_000_000)
+        assert stats.num_cores == 2
+        assert all(core.instructions == 4000 for core in stats.cores)
+        assert all(core.cycles > 0 for core in stats.cores)
+
+    @pytest.mark.parametrize("simulator_cls", SIMULATORS)
+    def test_sharing_the_l2_slows_memory_bound_programs(self, simulator_cls):
+        solo = simulator_cls(default_machine_config(1)).run(
+            homogeneous_multiprogram_workload("mcf", copies=1, instructions=8000, seed=1),
+            max_cycles=20_000_000,
+            warmup_instructions=3000,
+        )
+        shared = simulator_cls(default_machine_config(4)).run(
+            homogeneous_multiprogram_workload("mcf", copies=4, instructions=8000, seed=1),
+            max_cycles=20_000_000,
+            warmup_instructions=3000,
+        )
+        solo_cycles = solo.cores[0].cycles
+        co_run_cycles = max(core.cycles for core in shared.cores[:4])
+        # Sharing the L2 and the memory bus must not speed the program up;
+        # a small tolerance absorbs second-order timing alignment effects.
+        assert co_run_cycles >= solo_cycles * 0.97
+        # And the shared run must show more memory-bus queueing in total.
+        assert shared.memory_stats["dram_queue_delay"] >= solo.memory_stats["dram_queue_delay"]
+
+    def test_heterogeneous_workload_runs(self):
+        machine = default_machine_config(3)
+        workload = heterogeneous_multiprogram_workload(
+            ["gcc", "mcf", "swim"], instructions=3000, seed=1
+        )
+        stats = IntervalSimulator(machine).run(workload, max_cycles=10_000_000)
+        assert sum(core.instructions for core in stats.cores) == 9000
+
+    def test_per_core_cycles_recorded_at_completion(self):
+        machine = default_machine_config(2)
+        workload = heterogeneous_multiprogram_workload(["eon", "mcf"], instructions=3000, seed=1)
+        stats = IntervalSimulator(machine).run(workload, max_cycles=10_000_000)
+        # mcf (memory-bound) finishes later than eon (compute-bound).
+        assert stats.cores[1].cycles > stats.cores[0].cycles
+        assert stats.total_cycles == max(core.cycles for core in stats.cores)
+
+
+class TestMultiThreaded:
+    @pytest.mark.parametrize("simulator_cls", SIMULATORS)
+    def test_all_threads_complete(self, simulator_cls):
+        machine = default_machine_config(4)
+        workload = multithreaded_workload("streamcluster", num_threads=4,
+                                          total_instructions=12_000, seed=1)
+        stats = simulator_cls(machine).run(workload, max_cycles=10_000_000)
+        assert stats.total_instructions == workload.total_instructions
+        assert all(core.cycles > 0 for core in stats.cores)
+
+    @pytest.mark.parametrize("simulator_cls", SIMULATORS)
+    def test_no_deadlock_with_warmup(self, simulator_cls):
+        machine = default_machine_config(4)
+        workload = multithreaded_workload("vips", num_threads=4,
+                                          total_instructions=16_000, seed=0)
+        stats = simulator_cls(machine).run(
+            workload, max_cycles=10_000_000, warmup_instructions=4000
+        )
+        assert stats.total_cycles > 0
+
+    def test_parallelism_reduces_execution_time(self):
+        # Functional warm-up covers the data-initialization phase so the
+        # timed region measures the parallel computation itself.
+        single = IntervalSimulator(default_machine_config(1)).run(
+            multithreaded_workload("swaptions", num_threads=1, total_instructions=24_000, seed=1),
+            max_cycles=20_000_000,
+            warmup_instructions=8_000,
+        )
+        quad = IntervalSimulator(default_machine_config(4)).run(
+            multithreaded_workload("swaptions", num_threads=4, total_instructions=24_000, seed=1),
+            max_cycles=20_000_000,
+            warmup_instructions=8_000,
+        )
+        assert quad.total_cycles < single.total_cycles
+
+    def test_barrier_waits_recorded(self):
+        machine = default_machine_config(4)
+        workload = multithreaded_workload("streamcluster", num_threads=4,
+                                          total_instructions=16_000, seed=1)
+        stats = IntervalSimulator(machine).run(workload, max_cycles=10_000_000)
+        assert sum(core.barrier_waits for core in stats.cores) > 0
+
+    def test_coherence_traffic_present_for_sharing_benchmark(self):
+        machine = default_machine_config(4)
+        workload = multithreaded_workload("canneal", num_threads=4,
+                                          total_instructions=16_000, seed=1)
+        stats = IntervalSimulator(machine).run(workload, max_cycles=10_000_000)
+        assert stats.memory_stats["coherence_invalidations"] > 0
+
+
+class TestWarmupBehaviour:
+    def test_warmup_excluded_from_timed_instructions(self):
+        machine = default_machine_config(1)
+        workload = homogeneous_multiprogram_workload("gcc", copies=1, instructions=8000, seed=1)
+        stats = IntervalSimulator(machine).run(workload, warmup_instructions=3000)
+        assert stats.total_instructions == 5000
+
+    def test_warmup_clamped_to_half_the_trace(self):
+        machine = default_machine_config(1)
+        workload = homogeneous_multiprogram_workload("gcc", copies=1, instructions=4000, seed=1)
+        stats = IntervalSimulator(machine).run(workload, warmup_instructions=100_000)
+        assert stats.total_instructions == 2000

@@ -1,0 +1,93 @@
+"""Tests for the synchronization manager and multi-core coordination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multicore.sync import SynchronizationManager
+
+
+class TestBarriers:
+    def test_barrier_releases_when_all_arrive(self):
+        sync = SynchronizationManager(num_threads=3)
+        sync.barrier_arrive(0, 0)
+        assert not sync.barrier_released(0)
+        sync.barrier_arrive(1, 0)
+        assert not sync.barrier_released(0)
+        sync.barrier_arrive(2, 0)
+        assert sync.barrier_released(0)
+
+    def test_double_arrival_counted_once(self):
+        sync = SynchronizationManager(num_threads=2)
+        sync.barrier_arrive(0, 0)
+        sync.barrier_arrive(0, 0)
+        assert not sync.barrier_released(0)
+        assert sync.stats.barrier_arrivals == 1
+
+    def test_independent_barriers(self):
+        sync = SynchronizationManager(num_threads=2)
+        sync.barrier_arrive(0, 0)
+        sync.barrier_arrive(1, 1)
+        assert not sync.barrier_released(0)
+        assert not sync.barrier_released(1)
+
+    def test_finished_thread_does_not_block_barrier(self):
+        sync = SynchronizationManager(num_threads=2)
+        sync.thread_finished(1)
+        sync.barrier_arrive(0, 0)
+        assert sync.barrier_released(0)
+
+    def test_finish_after_arrival_releases_pending_barriers(self):
+        sync = SynchronizationManager(num_threads=2)
+        sync.barrier_arrive(0, 5)
+        assert not sync.barrier_released(5)
+        sync.thread_finished(1)
+        assert sync.barrier_released(5)
+
+    def test_single_thread_barriers_trivially_release(self):
+        sync = SynchronizationManager(num_threads=1)
+        sync.barrier_arrive(0, 0)
+        assert sync.barrier_released(0)
+
+    def test_invalid_thread_rejected(self):
+        sync = SynchronizationManager(num_threads=2)
+        with pytest.raises(ValueError):
+            sync.barrier_arrive(5, 0)
+
+
+class TestLocks:
+    def test_acquire_and_release(self):
+        sync = SynchronizationManager(num_threads=2)
+        assert sync.lock_try_acquire(0, 3)
+        assert sync.lock_holder(3) == 0
+        assert not sync.lock_try_acquire(1, 3)
+        sync.lock_release(0, 3)
+        assert sync.lock_try_acquire(1, 3)
+
+    def test_reacquire_own_lock(self):
+        sync = SynchronizationManager(num_threads=2)
+        assert sync.lock_try_acquire(0, 1)
+        assert sync.lock_try_acquire(0, 1)
+
+    def test_release_foreign_lock_rejected(self):
+        sync = SynchronizationManager(num_threads=2)
+        sync.lock_try_acquire(0, 1)
+        with pytest.raises(ValueError):
+            sync.lock_release(1, 1)
+
+    def test_contention_counted(self):
+        sync = SynchronizationManager(num_threads=2)
+        sync.lock_try_acquire(0, 1)
+        sync.lock_try_acquire(1, 1)
+        sync.lock_try_acquire(1, 1)
+        assert sync.stats.lock_contentions == 2
+        assert sync.stats.lock_acquisitions == 1
+
+    def test_distinct_locks_independent(self):
+        sync = SynchronizationManager(num_threads=2)
+        assert sync.lock_try_acquire(0, 1)
+        assert sync.lock_try_acquire(1, 2)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            SynchronizationManager(num_threads=0)

@@ -1,0 +1,125 @@
+"""Tests for the benchmark stand-in profiles."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.trace.profiles import (
+    FIGURE6_BENCHMARKS,
+    PARSEC_PROFILES,
+    SPEC_PROFILES,
+    WorkloadProfile,
+    parsec_benchmark_names,
+    parsec_profile,
+    spec_benchmark_names,
+    spec_profile,
+)
+
+
+class TestProfileCatalogs:
+    def test_all_26_spec_benchmarks_present(self):
+        assert len(SPEC_PROFILES) == 26
+
+    def test_all_9_parsec_benchmarks_present(self):
+        assert len(PARSEC_PROFILES) == 9
+        expected = {
+            "blackscholes", "bodytrack", "canneal", "dedup", "fluidanimate",
+            "streamcluster", "swaptions", "vips", "x264",
+        }
+        assert set(PARSEC_PROFILES) == expected
+
+    def test_figure6_benchmarks_are_spec(self):
+        assert set(FIGURE6_BENCHMARKS) <= set(SPEC_PROFILES)
+        assert FIGURE6_BENCHMARKS == ["gcc", "mcf", "twolf", "art", "swim"]
+
+    def test_lookup_by_name(self):
+        assert spec_profile("mcf").name == "mcf"
+        assert parsec_profile("vips").name == "vips"
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            spec_profile("doom3")
+        with pytest.raises(KeyError):
+            parsec_profile("doom3")
+
+    def test_name_lists_match_catalogs(self):
+        assert spec_benchmark_names() == list(SPEC_PROFILES)
+        assert parsec_benchmark_names() == list(PARSEC_PROFILES)
+
+    def test_profile_names_match_keys(self):
+        for name, profile in {**SPEC_PROFILES, **PARSEC_PROFILES}.items():
+            assert profile.name == name
+
+
+class TestProfileSemantics:
+    def test_spec_profiles_have_no_sharing(self):
+        for profile in SPEC_PROFILES.values():
+            assert profile.shared_fraction == 0.0
+            assert profile.barrier_interval == 0
+            assert not profile.is_multithreaded
+
+    def test_parsec_profiles_are_multithreaded(self):
+        for profile in PARSEC_PROFILES.values():
+            assert profile.is_multithreaded
+            assert profile.kernel_fraction > 0.0  # full-system workloads
+
+    def test_data_fractions_within_budget(self):
+        for profile in {**SPEC_PROFILES, **PARSEC_PROFILES}.values():
+            total = (
+                profile.hot_data_fraction
+                + profile.l2_fraction
+                + profile.streaming_fraction
+            )
+            assert 0.0 <= total <= 1.0
+            assert profile.l1_fraction == pytest.approx(1.0 - total)
+
+    def test_memory_bound_benchmarks_have_larger_working_sets(self):
+        assert spec_profile("mcf").l2_working_set > spec_profile("eon").l2_working_set
+        assert spec_profile("mcf").l2_fraction > spec_profile("eon").l2_fraction
+
+    def test_vips_models_poor_scaling(self):
+        vips = parsec_profile("vips")
+        blackscholes = parsec_profile("blackscholes")
+        assert vips.load_imbalance > blackscholes.load_imbalance
+        assert vips.parallel_fraction < blackscholes.parallel_fraction
+
+    def test_mcf_is_pointer_chasing(self):
+        assert spec_profile("mcf").pointer_chase_fraction > 0.2
+        assert spec_profile("swim").pointer_chase_fraction == 0.0
+
+    def test_scaled_returns_copy_with_new_budget(self):
+        profile = spec_profile("gcc")
+        scaled = profile.scaled(12345)
+        assert scaled.instructions == 12345
+        assert profile.instructions != 12345 or profile is not scaled
+        assert scaled.name == "gcc"
+
+
+class TestProfileValidation:
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", hot_data_fraction=1.5)
+
+    def test_fractions_exceeding_one_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="bad", hot_data_fraction=0.6, l2_fraction=0.3, streaming_fraction=0.2
+            )
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", instructions=0)
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", suite="tpc")
+
+    def test_zero_dependence_distance_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", dependence_distance=0)
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec_profile("gcc").instructions = 5  # type: ignore[misc]

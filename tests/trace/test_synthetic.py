@@ -1,0 +1,183 @@
+"""Tests for the synthetic trace generator (the functional-simulator stand-in)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.isa import InstructionClass, NUM_ARCH_REGISTERS
+from repro.trace.profiles import WorkloadProfile, parsec_profile, spec_profile
+from repro.trace.stream import ThreadTrace, TraceCursor, Workload
+from repro.trace.synthetic import SyntheticTraceGenerator, generate_trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        profile = spec_profile("gcc")
+        first = generate_trace(profile, num_instructions=2000, seed=11)
+        second = generate_trace(profile, num_instructions=2000, seed=11)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.pc == b.pc
+            assert a.klass == b.klass
+            assert a.mem_addr == b.mem_addr
+            assert a.is_taken == b.is_taken
+
+    def test_different_seed_different_trace(self):
+        profile = spec_profile("gcc")
+        first = generate_trace(profile, num_instructions=2000, seed=1)
+        second = generate_trace(profile, num_instructions=2000, seed=2)
+        assert any(a.pc != b.pc or a.mem_addr != b.mem_addr for a, b in zip(first, second))
+
+    def test_requested_length(self):
+        trace = generate_trace(spec_profile("gzip"), num_instructions=512)
+        assert len(trace) == 512
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(spec_profile("gzip"), num_instructions=0)
+
+
+class TestStreamProperties:
+    def test_sequence_numbers_monotonic(self, gcc_generator):
+        trace = gcc_generator.generate(1000)
+        sequences = [instruction.seq for instruction in trace]
+        assert sequences == sorted(sequences)
+
+    def test_instruction_mix_roughly_matches_profile(self):
+        profile = spec_profile("gcc")
+        generator = SyntheticTraceGenerator(profile, seed=5)
+        trace = generator.generate(20_000, include_init_phase=False)
+        loads = sum(1 for i in trace if i.is_load)
+        stores = sum(1 for i in trace if i.is_store)
+        branches = sum(1 for i in trace if i.is_branch)
+        mix = profile.mix.normalized()
+        assert loads / len(trace) == pytest.approx(mix.load, abs=0.08)
+        assert stores / len(trace) == pytest.approx(mix.store, abs=0.05)
+        assert branches / len(trace) == pytest.approx(mix.branch, abs=0.08)
+
+    def test_memory_instructions_have_addresses(self, gcc_generator):
+        trace = gcc_generator.generate(2000)
+        for instruction in trace:
+            if instruction.is_memory:
+                assert instruction.mem_addr is not None
+                assert instruction.mem_size > 0
+            if instruction.is_branch:
+                assert instruction.dst_reg is None
+
+    def test_registers_within_range(self, gcc_generator):
+        trace = gcc_generator.generate(2000)
+        for instruction in trace:
+            if instruction.dst_reg is not None:
+                assert 0 < instruction.dst_reg < NUM_ARCH_REGISTERS
+            for reg in instruction.src_regs:
+                assert 0 <= reg < NUM_ARCH_REGISTERS
+
+    def test_taken_branches_have_targets(self, gcc_generator):
+        trace = gcc_generator.generate(4000)
+        taken = [i for i in trace if i.is_branch and i.is_taken]
+        assert taken, "expected some taken branches"
+        for branch in taken:
+            assert branch.branch_target > 0
+
+    def test_kernel_fraction_only_for_full_system_profiles(self):
+        spec_trace = generate_trace(spec_profile("bzip2"), num_instructions=10_000, seed=1)
+        assert not any(i.is_kernel for i in spec_trace)
+        parsec_generator = SyntheticTraceGenerator(parsec_profile("vips"), seed=1)
+        parsec_trace = parsec_generator.generate(30_000, include_init_phase=False)
+        kernel_fraction = sum(1 for i in parsec_trace if i.is_kernel) / len(parsec_trace)
+        assert kernel_fraction > 0.02
+
+    def test_init_phase_touches_working_sets(self):
+        profile = spec_profile("twolf")
+        trace = generate_trace(profile, num_instructions=30_000, seed=1)
+        prefix = [trace[i] for i in range(min(4000, len(trace)))]
+        stores = [i for i in prefix if i.is_store]
+        distinct_lines = {i.mem_addr >> 6 for i in stores if i.mem_addr is not None}
+        # The initialization sweep touches many distinct lines early on.
+        assert len(distinct_lines) > 1000
+
+    def test_init_phase_can_be_disabled(self):
+        generator = SyntheticTraceGenerator(spec_profile("twolf"), seed=1)
+        trace = generator.generate(1000, include_init_phase=False)
+        prefix_stores = [i for i in list(trace)[:200] if i.is_store]
+        distinct = {i.mem_addr >> 6 for i in prefix_stores if i.mem_addr is not None}
+        assert len(distinct) < 150
+
+
+class TestLocalityModel:
+    def test_memory_bound_profile_has_larger_footprint(self):
+        small = generate_trace(spec_profile("eon"), num_instructions=15_000, seed=3)
+        large = generate_trace(spec_profile("mcf"), num_instructions=15_000, seed=3)
+
+        def footprint(trace):
+            return len({i.mem_addr >> 6 for i in trace if i.is_memory and not i.is_kernel})
+
+        assert footprint(large) > footprint(small)
+
+    def test_streaming_profile_touches_many_pages(self):
+        swim = generate_trace(spec_profile("swim"), num_instructions=20_000, seed=3)
+        eon = generate_trace(spec_profile("eon"), num_instructions=20_000, seed=3)
+
+        def pages(trace):
+            return len({i.mem_addr >> 13 for i in trace if i.is_memory})
+
+        assert pages(swim) > pages(eon)
+
+    def test_code_footprint_reflected_in_pcs(self):
+        gcc = generate_trace(spec_profile("gcc"), num_instructions=20_000, seed=3)
+        gzip = generate_trace(spec_profile("gzip"), num_instructions=20_000, seed=3)
+
+        def code_lines(trace):
+            return len({i.pc >> 6 for i in trace if not i.is_kernel})
+
+        assert code_lines(gcc) > code_lines(gzip)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_generation_never_crashes(self, seed):
+        trace = generate_trace(spec_profile("parser"), num_instructions=500, seed=seed)
+        assert len(trace) == 500
+
+
+class TestSharedRegion:
+    def test_shared_accesses_target_common_region(self):
+        profile = parsec_profile("canneal")
+        generators = [
+            SyntheticTraceGenerator(profile, seed=1, thread_id=tid) for tid in (0, 1)
+        ]
+        traces = [g.generate(10_000, include_init_phase=False) for g in generators]
+        shared_base = generators[0].shared_region_base
+
+        def shared_lines(trace, size):
+            return {
+                i.mem_addr >> 6
+                for i in trace
+                if i.is_memory and i.mem_addr is not None
+                and shared_base <= i.mem_addr < shared_base + size
+            }
+
+        size = generators[0].shared_region_size
+        common = shared_lines(traces[0], size) & shared_lines(traces[1], size)
+        assert common, "threads should touch common shared-region lines"
+
+    def test_private_regions_disjoint_between_threads(self):
+        profile = parsec_profile("swaptions")
+        generators = [
+            SyntheticTraceGenerator(profile, seed=1, thread_id=tid) for tid in (0, 1)
+        ]
+        traces = [g.generate(5_000, include_init_phase=False) for g in generators]
+        shared_base = generators[0].shared_region_base
+        shared_size = generators[0].shared_region_size
+
+        def private_addresses(trace):
+            return {
+                i.mem_addr
+                for i in trace
+                if i.is_memory and i.mem_addr is not None
+                and not shared_base <= i.mem_addr < shared_base + shared_size
+                and i.mem_addr < 0x7F00_0000_0000  # exclude kernel data
+                and i.mem_addr >= 0x10_0000_0000    # exclude the stack region
+            }
+
+        assert not (private_addresses(traces[0]) & private_addresses(traces[1]))
