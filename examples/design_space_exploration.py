@@ -9,49 +9,69 @@ multi-threaded workloads: for a fixed transistor/power budget it compares
 * 2 cores + 4 MB shared L2 + narrow external DRAM bus, and
 * 4 cores + no L2 + wide 3D-stacked DRAM (lower latency, higher bandwidth),
 
-using interval simulation only — the use case where its speed matters — and
-prints which architecture each workload prefers (the Figure-8 study of the
-paper, driven as a user would drive it).
+using interval simulation only — the use case where its speed matters.  The
+whole design space is expressed as declarative ``SweepSpec`` jobs and fanned
+out over worker processes with ``Session.run_batch`` (the Figure-8 study of
+the paper, driven as a user would drive it).
 
 Usage::
 
-    python examples/design_space_exploration.py [total_instructions]
+    python examples/design_space_exploration.py [total_instructions] [workers]
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro import IntervalSimulator, dualcore_l2_config, quadcore_3d_stacked_config
+from repro import Session, dualcore_l2_config, quadcore_3d_stacked_config
 from repro.experiments import render_table
-from repro.trace import multithreaded_workload, parsec_benchmark_names
+from repro.trace import parsec_benchmark_names
 
 
 def main() -> None:
     total_instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 48_000
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 4
     warmup = total_instructions // 2
 
-    dualcore = dualcore_l2_config()
-    quadcore = quadcore_3d_stacked_config()
+    architectures = {
+        "A": dualcore_l2_config(),
+        "B": quadcore_3d_stacked_config(),
+    }
     print("Architecture A: 2 cores, 4 MB L2, external DRAM (150 cycles, 16 B bus)")
     print("Architecture B: 4 cores, no L2, 3D-stacked DRAM (125 cycles, 128 B bus)")
     print()
 
+    # Enumerate the whole (benchmark x architecture) design space as specs...
+    benchmarks = parsec_benchmark_names()
+    points = [
+        (benchmark, arch, machine)
+        for benchmark in benchmarks
+        for arch, machine in architectures.items()
+    ]
+    specs = [
+        Session(machine)
+        .simulator("interval")
+        .multithreaded(benchmark, machine.num_cores, total_instructions=total_instructions)
+        .warmup(warmup)
+        .label(arch)
+        .spec()
+        for benchmark, arch, machine in points
+    ]
+    # ...and let the batch runner execute it across worker processes.
+    # run_batch returns results in spec order, so pairing with `points` is safe.
+    results = Session.run_batch(specs, workers=workers)
+    by_key = {
+        (benchmark, arch): result
+        for (benchmark, arch, _machine), result in zip(points, results)
+    }
+
     rows = []
-    for benchmark in parsec_benchmark_names():
-        workload_a = multithreaded_workload(
-            benchmark, num_threads=dualcore.num_cores, total_instructions=total_instructions
-        )
-        stats_a = IntervalSimulator(dualcore).run(workload_a, warmup_instructions=warmup)
-
-        workload_b = multithreaded_workload(
-            benchmark, num_threads=quadcore.num_cores, total_instructions=total_instructions
-        )
-        stats_b = IntervalSimulator(quadcore).run(workload_b, warmup_instructions=warmup)
-
-        ratio = stats_b.total_cycles / stats_a.total_cycles
+    for benchmark in benchmarks:
+        cycles_a = by_key[(benchmark, "A")].total_cycles
+        cycles_b = by_key[(benchmark, "B")].total_cycles
+        ratio = cycles_b / cycles_a
         winner = "B (4 cores + 3D DRAM)" if ratio < 1.0 else "A (2 cores + L2)"
-        rows.append((benchmark, stats_a.total_cycles, stats_b.total_cycles, ratio, winner))
+        rows.append((benchmark, cycles_a, cycles_b, ratio, winner))
 
     print(
         render_table(

@@ -4,9 +4,10 @@
 A system architect wants to know how consolidation affects throughput and
 per-job responsiveness when several instances of a job share a chip
 multiprocessor (the Figure-6 scenario).  This example measures, with interval
-simulation, system throughput (STP) and average normalized turnaround time
-(ANTT) as a growing number of copies of a memory-bound job (``mcf``) and a
-compute-bound job (``gcc``) share the 4 MB L2 and the memory bus.
+simulation through the ``repro.api`` session layer, system throughput (STP)
+and average normalized turnaround time (ANTT) as a growing number of copies
+of a memory-bound job (``mcf``) and a compute-bound job (``gcc``) share the
+4 MB L2 and the memory bus.
 
 Usage::
 
@@ -17,13 +18,12 @@ from __future__ import annotations
 
 import sys
 
-from repro import IntervalSimulator, default_machine_config
+from repro import Session
 from repro.common.metrics import (
     average_normalized_turnaround_time,
     system_throughput,
 )
 from repro.experiments import render_table
-from repro.trace import homogeneous_multiprogram_workload, single_threaded_workload
 
 
 def main() -> None:
@@ -33,18 +33,27 @@ def main() -> None:
 
     rows = []
     for benchmark in ("gcc", "mcf"):
-        solo_workload = single_threaded_workload(benchmark, instructions=instructions)
-        solo = IntervalSimulator(default_machine_config(1)).run(
-            solo_workload, warmup_instructions=warmup
+        solo = (
+            Session()
+            .simulator("interval")
+            .workload(benchmark, instructions=instructions)
+            .warmup(warmup)
+            .run()
         )
-        solo_cycles = float(solo.cores[0].cycles)
+        solo_cycles = float(solo.stats.cores[0].cycles)
 
-        for copies in copy_counts:
-            machine = default_machine_config(copies)
-            workload = homogeneous_multiprogram_workload(
-                benchmark, copies=copies, instructions=instructions
-            )
-            stats = IntervalSimulator(machine).run(workload, warmup_instructions=warmup)
+        # The consolidation sweep is a batch of declarative specs, executed
+        # across worker processes.
+        specs = [
+            Session()
+            .simulator("interval")
+            .multiprogram(benchmark, copies, instructions=instructions)
+            .warmup(warmup)
+            .spec()
+            for copies in copy_counts
+        ]
+        for copies, result in zip(copy_counts, Session.run_batch(specs, workers=4)):
+            stats = result.stats
             multi_cycles = [float(stats.cores[i].cycles) for i in range(copies)]
             single_cycles = [solo_cycles] * copies
             rows.append(

@@ -2,9 +2,9 @@
 """Quickstart: interval simulation versus detailed simulation on one benchmark.
 
 Runs the same synthetic SPEC-like workload through the interval simulator
-(the paper's contribution) and the detailed cycle-level reference, then
-prints the IPC both report, the interval model's CPI stack, and the
-wall-clock speedup interval simulation achieves.
+(the paper's contribution) and the detailed cycle-level reference using the
+``repro.api`` session layer, then prints the IPC both report, the interval
+model's CPI stack, and the wall-clock speedup interval simulation achieves.
 
 Usage::
 
@@ -17,8 +17,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import DetailedSimulator, IntervalSimulator, default_machine_config
-from repro.trace import single_threaded_workload
+from repro import Session, default_machine_config
 
 
 def main() -> None:
@@ -34,11 +33,21 @@ def main() -> None:
           f"DRAM={machine.memory.dram_latency} cycles")
     print()
 
-    workload = single_threaded_workload(benchmark, instructions=instructions)
-    interval = IntervalSimulator(machine).run(workload, warmup_instructions=warmup)
-
-    workload = single_threaded_workload(benchmark, instructions=instructions)
-    detailed = DetailedSimulator(machine).run(workload, warmup_instructions=warmup)
+    # One declarative spec, run under both timing models.  Sequential on
+    # purpose: the example reports the wall-clock speedup of interval over
+    # detailed simulation, and concurrent runs would contend for cores and
+    # skew that measurement.
+    base = (
+        Session(machine)
+        .workload(benchmark, instructions=instructions)
+        .warmup(warmup)
+        .spec()
+    )
+    interval_result, detailed_result = Session.run_batch(
+        [base.with_simulator("interval"), base.with_simulator("detailed")],
+        workers=1,
+    )
+    interval, detailed = interval_result.stats, detailed_result.stats
 
     interval_core = interval.cores[0]
     detailed_core = detailed.cores[0]

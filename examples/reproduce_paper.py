@@ -2,7 +2,9 @@
 """Reproduce every figure of the paper's evaluation section.
 
 Runs the experiment drivers for Figures 4–10 plus the two ablation studies
-and prints paper-style result tables.  Three budget presets are available:
+and prints paper-style result tables.  Three budget presets are available
+(shared with ``python -m repro figure`` through
+:mod:`repro.experiments.presets`):
 
 * ``--quick``  — small instruction budgets and benchmark subsets (~2 min);
 * ``--medium`` — the default; full benchmark lists with moderate budgets;
@@ -14,17 +16,17 @@ Usage::
     python examples/reproduce_paper.py [--quick|--medium|--full] [--figure N]
 
 ``--figure`` limits the run to one artifact (4, 5, 6, 7, 8, 9, 10, or
-``ablation``).
+``ablation``).  The same artifacts are available one at a time through the
+CLI: ``python -m repro figure 5 --preset quick``.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 
 from repro.experiments import (
-    ExperimentConfig,
+    build_preset_configs,
     run_figure4,
     run_figure5,
     run_figure6,
@@ -35,48 +37,6 @@ from repro.experiments import (
     run_old_window_ablation,
     run_overlap_ablation,
 )
-
-#: A compact but diverse benchmark subset used by the --quick preset and for
-#: the expensive many-core speedup sweeps.
-QUICK_SPEC = ["gcc", "mcf", "twolf", "art", "swim", "eon", "vpr", "equake"]
-QUICK_PARSEC = ["blackscholes", "canneal", "fluidanimate", "vips", "swaptions"]
-
-
-def build_configs(preset: str) -> dict:
-    """Budget presets for every figure driver."""
-    if preset == "quick":
-        return {
-            "fig4": ExperimentConfig(instructions=20_000, warmup_instructions=10_000, benchmarks=QUICK_SPEC),
-            "fig5": ExperimentConfig(instructions=20_000, warmup_instructions=10_000, benchmarks=QUICK_SPEC),
-            "fig6": ExperimentConfig(instructions=16_000, warmup_instructions=8_000, benchmarks=["gcc", "mcf"]),
-            "fig7": ExperimentConfig(instructions=24_000, warmup_instructions=12_000, benchmarks=QUICK_PARSEC),
-            "fig8": ExperimentConfig(instructions=24_000, warmup_instructions=12_000, benchmarks=QUICK_PARSEC),
-            "fig9": ExperimentConfig(instructions=12_000, warmup_instructions=6_000, benchmarks=["gcc", "mcf", "swim"]),
-            "fig10": ExperimentConfig(instructions=16_000, warmup_instructions=8_000, benchmarks=["blackscholes", "vips"]),
-            "ablation": ExperimentConfig(instructions=20_000, warmup_instructions=10_000, benchmarks=QUICK_SPEC),
-        }
-    if preset == "medium":
-        return {
-            "fig4": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
-            "fig5": ExperimentConfig(instructions=60_000, warmup_instructions=30_000),
-            "fig6": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
-            "fig7": ExperimentConfig(instructions=60_000, warmup_instructions=30_000),
-            "fig8": ExperimentConfig(instructions=48_000, warmup_instructions=24_000),
-            "fig9": ExperimentConfig(instructions=24_000, warmup_instructions=12_000, benchmarks=QUICK_SPEC),
-            "fig10": ExperimentConfig(instructions=36_000, warmup_instructions=18_000),
-            "ablation": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
-        }
-    # full
-    return {
-        "fig4": ExperimentConfig(instructions=80_000, warmup_instructions=40_000),
-        "fig5": ExperimentConfig(instructions=120_000, warmup_instructions=60_000),
-        "fig6": ExperimentConfig(instructions=80_000, warmup_instructions=40_000),
-        "fig7": ExperimentConfig(instructions=120_000, warmup_instructions=60_000),
-        "fig8": ExperimentConfig(instructions=96_000, warmup_instructions=48_000),
-        "fig9": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
-        "fig10": ExperimentConfig(instructions=64_000, warmup_instructions=32_000),
-        "ablation": ExperimentConfig(instructions=80_000, warmup_instructions=40_000),
-    }
 
 
 def main() -> None:
@@ -90,7 +50,7 @@ def main() -> None:
     parser.set_defaults(preset="medium")
     args = parser.parse_args()
 
-    configs = build_configs(args.preset)
+    configs = build_preset_configs(args.preset)
     wanted = args.figure
 
     def selected(figure: str) -> bool:

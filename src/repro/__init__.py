@@ -11,14 +11,36 @@ The package provides:
 * :class:`~repro.detailed.detailed_sim.DetailedSimulator` — a cycle-level
   out-of-order reference simulator (the role M5 plays in the paper);
 * :class:`~repro.core.oneipc.OneIPCSimulator` — the naive one-IPC baseline;
-* the substrates both share: synthetic workload generation
+* the substrates all three share: synthetic workload generation
   (:mod:`repro.trace`), branch predictors (:mod:`repro.branch`) and the
   memory hierarchy with MOESI coherence and finite off-chip bandwidth
   (:mod:`repro.memory`);
+* the session layer (:mod:`repro.api`): a simulator registry, the
+  :class:`~repro.api.session.Session` builder, the parallel
+  :meth:`~repro.api.session.Session.run_batch` sweep runner, serializable
+  :class:`~repro.api.results.RunResult` objects, and the ``python -m repro``
+  command line;
 * an experiment harness regenerating every figure of the paper's evaluation
   (:mod:`repro.experiments`).
 
-Quickstart::
+Quickstart — run one simulator through the session layer::
+
+    from repro import Session
+
+    result = Session().simulator("interval").workload("gcc", instructions=50_000).run()
+    print(result.ipc)
+
+Sweep several simulators/workloads in parallel, with results that
+round-trip through JSON::
+
+    from repro import Session, save_results
+
+    base = Session().workload("gcc", instructions=50_000).spec()
+    specs = [base.with_simulator(name) for name in ("interval", "detailed", "oneipc")]
+    results = Session.run_batch(specs, workers=3)
+    save_results(results, "sweep.json")
+
+Or drive the simulators directly::
 
     from repro import IntervalSimulator, DetailedSimulator, default_machine_config
     from repro.trace import single_threaded_workload
@@ -28,6 +50,11 @@ Quickstart::
     interval = IntervalSimulator(config).run(workload)
     detailed = DetailedSimulator(config).run(workload)
     print(interval.cores[0].ipc, detailed.cores[0].ipc)
+
+The same layer is exposed on the command line: ``python -m repro
+list-simulators``, ``python -m repro run --simulator interval --benchmark
+gcc``, ``python -m repro compare --simulators interval,detailed --benchmark
+gcc`` and ``python -m repro figure 5 --preset quick``.
 """
 
 from .common import (
@@ -41,8 +68,21 @@ from .common import (
 )
 from .core import IntervalSimulator, OneIPCSimulator
 from .detailed import DetailedSimulator
+from .api import (
+    RunResult,
+    Session,
+    SimulatorRegistry,
+    SweepSpec,
+    WorkloadSpec,
+    create_simulator,
+    list_simulators,
+    load_results,
+    register_simulator,
+    save_results,
+    simulator_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CoreStats",
@@ -55,5 +95,16 @@ __all__ = [
     "IntervalSimulator",
     "OneIPCSimulator",
     "DetailedSimulator",
+    "RunResult",
+    "Session",
+    "SimulatorRegistry",
+    "SweepSpec",
+    "WorkloadSpec",
+    "create_simulator",
+    "list_simulators",
+    "load_results",
+    "register_simulator",
+    "save_results",
+    "simulator_names",
     "__version__",
 ]

@@ -1,0 +1,182 @@
+"""Declarative run specifications: what to simulate, reproducibly.
+
+A :class:`SweepSpec` captures one simulation job — which simulator, which
+workload, which machine, which budget — as plain picklable data.  Because the
+workload is described declaratively (:class:`WorkloadSpec`) rather than as a
+materialized trace, a spec can be shipped to a worker process and rebuilt
+there bit-identically from its seed, which is what makes
+:meth:`repro.api.session.Session.run_batch` deterministic regardless of the
+number of workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..common.config import MachineConfig, default_machine_config
+from ..trace.stream import Workload
+from ..trace.workloads import (
+    heterogeneous_multiprogram_workload,
+    homogeneous_multiprogram_workload,
+    multithreaded_workload,
+    single_threaded_workload,
+)
+
+__all__ = ["WorkloadSpec", "SweepSpec", "WORKLOAD_KINDS"]
+
+#: Workload shapes a spec can describe, mirroring repro.trace.workloads.
+WORKLOAD_KINDS = ("single", "multiprogram", "heterogeneous", "multithreaded")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reproducible description of one workload.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`WORKLOAD_KINDS`.
+    benchmark:
+        Benchmark name ("single", "multiprogram", "multithreaded" kinds).
+    benchmarks:
+        Per-core benchmark names ("heterogeneous" kind).
+    copies:
+        Copy count for "multiprogram" / thread count for "multithreaded".
+    instructions:
+        Dynamic instruction budget (``None`` = profile default): per program
+        copy for "single"/"multiprogram"/"heterogeneous", but the *total*
+        across all threads for "multithreaded" (matching
+        :func:`repro.trace.workloads.multithreaded_workload`).
+    seed:
+        Trace-generation seed; together with the other fields it makes
+        :meth:`build` deterministic.
+    """
+
+    kind: str = "single"
+    benchmark: Optional[str] = None
+    benchmarks: Tuple[str, ...] = ()
+    copies: int = 1
+    instructions: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; known: {WORKLOAD_KINDS}"
+            )
+        if self.kind == "heterogeneous":
+            if not self.benchmarks:
+                raise ValueError("heterogeneous workloads need 'benchmarks'")
+        elif not self.benchmark:
+            raise ValueError(f"{self.kind!r} workloads need 'benchmark'")
+        if self.copies <= 0:
+            raise ValueError("copies must be positive")
+
+    @property
+    def num_threads(self) -> int:
+        """How many cores this workload occupies."""
+        if self.kind == "single":
+            return 1
+        if self.kind == "heterogeneous":
+            return len(self.benchmarks)
+        return self.copies
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable workload name used in tables and labels."""
+        if self.kind == "single":
+            return str(self.benchmark)
+        if self.kind == "heterogeneous":
+            return "+".join(self.benchmarks)
+        suffix = "t" if self.kind == "multithreaded" else ""
+        return f"{self.benchmark} x{self.copies}{suffix}"
+
+    def build(self) -> Workload:
+        """Materialize the workload traces (deterministic given the spec)."""
+        if self.kind == "single":
+            return single_threaded_workload(
+                self.benchmark, instructions=self.instructions, seed=self.seed
+            )
+        if self.kind == "multiprogram":
+            return homogeneous_multiprogram_workload(
+                self.benchmark,
+                copies=self.copies,
+                instructions=self.instructions,
+                seed=self.seed,
+            )
+        if self.kind == "heterogeneous":
+            return heterogeneous_multiprogram_workload(
+                list(self.benchmarks), instructions=self.instructions, seed=self.seed
+            )
+        return multithreaded_workload(
+            self.benchmark,
+            num_threads=self.copies,
+            total_instructions=self.instructions,
+            seed=self.seed,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe description of this workload."""
+        return {
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "benchmarks": list(self.benchmarks),
+            "copies": self.copies,
+            "instructions": self.instructions,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadSpec":
+        """Rebuild a workload spec from :meth:`as_dict` output."""
+        return cls(
+            kind=str(data.get("kind", "single")),
+            benchmark=data.get("benchmark"),  # type: ignore[arg-type]
+            benchmarks=tuple(data.get("benchmarks", ()) or ()),
+            copies=int(data.get("copies", 1)),
+            instructions=data.get("instructions"),  # type: ignore[arg-type]
+            seed=int(data.get("seed", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One fully-specified simulation job.
+
+    Specs are plain data: picklable (so they cross process boundaries in
+    :meth:`~repro.api.session.Session.run_batch`) and self-describing (so a
+    batch result can record exactly what produced it).
+    """
+
+    simulator: str
+    workload: WorkloadSpec
+    machine: MachineConfig = field(default_factory=default_machine_config)
+    options: Mapping[str, object] = field(default_factory=dict)
+    warmup_instructions: int = 0
+    max_cycles: Optional[int] = None
+    label: str = ""
+
+    def with_simulator(self, simulator: str, **options: object) -> "SweepSpec":
+        """Copy of this spec targeting a different simulator.
+
+        The name and options are validated against the default registry so a
+        typo fails here, at build time, instead of mid-batch inside a worker
+        process.
+        """
+        from .registry import DEFAULT_REGISTRY
+
+        validated = DEFAULT_REGISTRY.get(simulator).validate_options(dict(options))
+        return replace(self, simulator=simulator, options=validated)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe description of the job (machine summarized, not encoded)."""
+        return {
+            "simulator": self.simulator,
+            "workload": self.workload.as_dict(),
+            "options": dict(self.options),
+            "warmup_instructions": self.warmup_instructions,
+            "max_cycles": self.max_cycles,
+            "num_cores": self.machine.num_cores,
+            "label": self.label,
+        }

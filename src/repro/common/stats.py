@@ -10,8 +10,8 @@ cycles, instruction counts and miss-event counts from both simulators.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Mapping, Optional
 
 __all__ = [
     "Counter",
@@ -185,6 +185,16 @@ class CoreStats:
         }
         return result
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CoreStats":
+        """Rebuild per-core statistics from an :meth:`as_dict` dictionary.
+
+        Derived keys (``ipc``, ``cpi``, rate fields) present in the
+        dictionary are ignored — they are recomputed from the counters.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
     def cpi_stack(self) -> Dict[str, float]:
         """Per-instruction cycle breakdown (CPI stack) recorded by the model.
 
@@ -271,6 +281,31 @@ class SimulationStats:
             "cores": [core.as_dict() for core in self.cores],
             "memory": dict(self.memory_stats),
         }
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """:meth:`as_dict` without host-dependent timing.
+
+        Wall-clock time varies run to run even for identical simulations, so
+        reproducibility checks (e.g. parallel-versus-sequential sweeps)
+        compare this dictionary instead of :meth:`as_dict`.
+        """
+        result = self.as_dict()
+        result.pop("wall_clock_seconds", None)
+        return result
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimulationStats":
+        """Rebuild run statistics from an :meth:`as_dict` dictionary."""
+        return cls(
+            cores=[CoreStats.from_dict(core) for core in data.get("cores", [])],
+            total_cycles=int(data.get("total_cycles", 0)),
+            wall_clock_seconds=float(data.get("wall_clock_seconds", 0.0)),
+            simulator=str(data.get("simulator", "")),
+            memory_stats={
+                str(key): int(value)
+                for key, value in dict(data.get("memory", {})).items()
+            },
+        )
 
 
 class Stopwatch:

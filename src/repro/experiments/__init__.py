@@ -18,6 +18,7 @@ from .figure5 import Figure5Result, run_figure5
 from .figure6 import Figure6Result, MultiProgramPoint, run_figure6
 from .figure7 import Figure7Result, ScalingPoint, run_figure7
 from .figure8 import CaseStudyPoint, Figure8Result, run_figure8
+from .presets import PRESET_NAMES, QUICK_PARSEC, QUICK_SPEC, build_preset_configs
 from .runner import (
     ComparisonResult,
     ExperimentConfig,
@@ -25,6 +26,7 @@ from .runner import (
     render_table,
     run_detailed,
     run_interval,
+    run_simulator,
 )
 from .speedup import (
     SpeedupPoint,
@@ -59,6 +61,11 @@ __all__ = [
     "render_table",
     "run_detailed",
     "run_interval",
+    "run_simulator",
+    "PRESET_NAMES",
+    "QUICK_PARSEC",
+    "QUICK_SPEC",
+    "build_preset_configs",
     "SpeedupPoint",
     "SpeedupResult",
     "run_figure10_parsec_speedup",

@@ -25,7 +25,7 @@ from ..common.config import default_machine_config
 from ..common.metrics import percentage_error
 from ..trace.profiles import spec_benchmark_names
 from ..trace.workloads import single_threaded_workload
-from .runner import ExperimentConfig, render_table, run_detailed, run_interval
+from .runner import ExperimentConfig, render_table, run_simulator
 
 __all__ = ["AblationPoint", "AblationResult", "run_old_window_ablation", "run_overlap_ablation"]
 
@@ -124,9 +124,10 @@ def _run_ablation(
         workload = single_threaded_workload(
             benchmark, instructions=config.instructions, seed=config.seed
         )
-        detailed_stats = run_detailed(machine, workload, config)
-        full_stats = run_interval(machine, workload, config)
-        ablated_stats = run_interval(
+        detailed_stats = run_simulator("detailed", machine, workload, config)
+        full_stats = run_simulator("interval", machine, workload, config)
+        ablated_stats = run_simulator(
+            "interval",
             machine,
             workload,
             config,

@@ -33,7 +33,7 @@ from ..common.stats import SimulationStats
 from ..trace.profiles import FIGURE6_BENCHMARKS
 from ..trace.stream import Workload
 from ..trace.workloads import homogeneous_multiprogram_workload
-from .runner import ExperimentConfig, render_table, run_detailed, run_interval
+from .runner import ExperimentConfig, render_table, run_simulator
 
 __all__ = ["MultiProgramPoint", "Figure6Result", "run_figure6", "DEFAULT_COPY_COUNTS"]
 
@@ -147,10 +147,18 @@ def run_figure6(
                 kind="single",
             )
             solo_interval_cycles.append(
-                float(run_interval(solo_machine, solo_workload, config).cores[0].cycles)
+                float(
+                    run_simulator("interval", solo_machine, solo_workload, config)
+                    .cores[0]
+                    .cycles
+                )
             )
             solo_detailed_cycles.append(
-                float(run_detailed(solo_machine, solo_workload, config).cores[0].cycles)
+                float(
+                    run_simulator("detailed", solo_machine, solo_workload, config)
+                    .cores[0]
+                    .cycles
+                )
             )
 
         for copies in copy_counts:
@@ -161,8 +169,8 @@ def run_figure6(
                 core_assignment=list(range(copies)),
                 kind="multiprogram",
             )
-            interval_stats = run_interval(machine, workload, config)
-            detailed_stats = run_detailed(machine, workload, config)
+            interval_stats = run_simulator("interval", machine, workload, config)
+            detailed_stats = run_simulator("detailed", machine, workload, config)
 
             interval_multi = _per_program_cycles(interval_stats, copies)
             detailed_multi = _per_program_cycles(detailed_stats, copies)

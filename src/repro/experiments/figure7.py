@@ -25,7 +25,7 @@ from ..common.config import default_machine_config
 from ..common.metrics import percentage_error
 from ..trace.profiles import parsec_benchmark_names
 from ..trace.workloads import multithreaded_workload
-from .runner import ExperimentConfig, render_table, run_detailed, run_interval
+from .runner import ExperimentConfig, render_table, run_simulator
 
 __all__ = ["ScalingPoint", "Figure7Result", "run_figure7", "DEFAULT_CORE_COUNTS"]
 
@@ -112,8 +112,8 @@ def run_figure7(
                 total_instructions=config.instructions,
                 seed=config.seed,
             )
-            interval_stats = run_interval(machine, workload, config)
-            detailed_stats = run_detailed(machine, workload, config)
+            interval_stats = run_simulator("interval", machine, workload, config)
+            detailed_stats = run_simulator("detailed", machine, workload, config)
             if baseline_detailed_cycles is None:
                 # Normalization reference: detailed single-core execution time.
                 baseline_detailed_cycles = float(detailed_stats.total_cycles)

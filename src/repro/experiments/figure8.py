@@ -28,7 +28,7 @@ from ..common.config import dualcore_l2_config, quadcore_3d_stacked_config
 from ..common.metrics import percentage_error
 from ..trace.profiles import parsec_benchmark_names
 from ..trace.workloads import multithreaded_workload
-from .runner import ExperimentConfig, render_table, run_detailed, run_interval
+from .runner import ExperimentConfig, render_table, run_simulator
 
 __all__ = ["CaseStudyPoint", "Figure8Result", "run_figure8"]
 
@@ -142,10 +142,10 @@ def run_figure8(config: ExperimentConfig | None = None) -> Figure8Result:
             total_instructions=config.instructions,
             seed=config.seed,
         )
-        detailed_dual = run_detailed(dualcore, dual_workload, config)
-        detailed_quad = run_detailed(quadcore, quad_workload, config)
-        interval_dual = run_interval(dualcore, dual_workload, config)
-        interval_quad = run_interval(quadcore, quad_workload, config)
+        detailed_dual = run_simulator("detailed", dualcore, dual_workload, config)
+        detailed_quad = run_simulator("detailed", quadcore, quad_workload, config)
+        interval_dual = run_simulator("interval", dualcore, dual_workload, config)
+        interval_quad = run_simulator("interval", quadcore, quad_workload, config)
         result.points.append(
             CaseStudyPoint(
                 benchmark=benchmark,

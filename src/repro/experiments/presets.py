@@ -1,0 +1,62 @@
+"""Budget presets shared by ``python -m repro figure`` and the examples.
+
+Each preset maps every paper artifact (Figures 4–10 plus the ablations) to
+an :class:`~repro.experiments.runner.ExperimentConfig`: ``quick`` runs small
+budgets and benchmark subsets in a couple of minutes, ``medium`` covers the
+full benchmark lists with moderate budgets, and ``full`` uses the larger
+budgets closest to the shapes reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .runner import ExperimentConfig
+
+__all__ = ["PRESET_NAMES", "QUICK_SPEC", "QUICK_PARSEC", "build_preset_configs"]
+
+#: Available preset names, fastest first.
+PRESET_NAMES: Sequence[str] = ("quick", "medium", "full")
+
+#: A compact but diverse benchmark subset used by the --quick preset and for
+#: the expensive many-core speedup sweeps.
+QUICK_SPEC: List[str] = ["gcc", "mcf", "twolf", "art", "swim", "eon", "vpr", "equake"]
+QUICK_PARSEC: List[str] = ["blackscholes", "canneal", "fluidanimate", "vips", "swaptions"]
+
+
+def build_preset_configs(preset: str) -> Dict[str, ExperimentConfig]:
+    """Budget presets for every figure driver, keyed by artifact name."""
+    if preset == "quick":
+        return {
+            "fig4": ExperimentConfig(instructions=20_000, warmup_instructions=10_000, benchmarks=QUICK_SPEC),
+            "fig5": ExperimentConfig(instructions=20_000, warmup_instructions=10_000, benchmarks=QUICK_SPEC),
+            "fig6": ExperimentConfig(instructions=16_000, warmup_instructions=8_000, benchmarks=["gcc", "mcf"]),
+            "fig7": ExperimentConfig(instructions=24_000, warmup_instructions=12_000, benchmarks=QUICK_PARSEC),
+            "fig8": ExperimentConfig(instructions=24_000, warmup_instructions=12_000, benchmarks=QUICK_PARSEC),
+            "fig9": ExperimentConfig(instructions=12_000, warmup_instructions=6_000, benchmarks=["gcc", "mcf", "swim"]),
+            "fig10": ExperimentConfig(instructions=16_000, warmup_instructions=8_000, benchmarks=["blackscholes", "vips"]),
+            "ablation": ExperimentConfig(instructions=20_000, warmup_instructions=10_000, benchmarks=QUICK_SPEC),
+        }
+    if preset == "medium":
+        return {
+            "fig4": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
+            "fig5": ExperimentConfig(instructions=60_000, warmup_instructions=30_000),
+            "fig6": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
+            "fig7": ExperimentConfig(instructions=60_000, warmup_instructions=30_000),
+            "fig8": ExperimentConfig(instructions=48_000, warmup_instructions=24_000),
+            "fig9": ExperimentConfig(instructions=24_000, warmup_instructions=12_000, benchmarks=QUICK_SPEC),
+            "fig10": ExperimentConfig(instructions=36_000, warmup_instructions=18_000),
+            "ablation": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
+        }
+    if preset == "full":
+        return {
+            "fig4": ExperimentConfig(instructions=80_000, warmup_instructions=40_000),
+            "fig5": ExperimentConfig(instructions=120_000, warmup_instructions=60_000),
+            "fig6": ExperimentConfig(instructions=80_000, warmup_instructions=40_000),
+            "fig7": ExperimentConfig(instructions=120_000, warmup_instructions=60_000),
+            "fig8": ExperimentConfig(instructions=96_000, warmup_instructions=48_000),
+            "fig9": ExperimentConfig(instructions=40_000, warmup_instructions=20_000),
+            "fig10": ExperimentConfig(instructions=64_000, warmup_instructions=32_000),
+            "ablation": ExperimentConfig(instructions=80_000, warmup_instructions=40_000),
+        }
+    raise ValueError(f"unknown preset {preset!r}; known: {list(PRESET_NAMES)}")

@@ -19,18 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..api.registry import create_simulator
 from ..common.config import MachineConfig
 from ..common.metrics import percentage_error
 from ..common.stats import SimulationStats
-from ..core.interval_sim import IntervalSimulator
-from ..core.oneipc import OneIPCSimulator
-from ..detailed.detailed_sim import DetailedSimulator
 from ..trace.stream import Workload
 
 __all__ = [
     "ExperimentConfig",
     "ComparisonResult",
     "compare_simulators",
+    "run_simulator",
     "run_interval",
     "run_detailed",
     "render_table",
@@ -67,10 +66,11 @@ class ExperimentConfig:
         """Apply the benchmark subset filter to a figure's benchmark list."""
         if self.benchmarks is None:
             return list(full_list)
-        unknown = set(self.benchmarks) - set(full_list)
+        wanted = set(self.benchmarks)
+        unknown = wanted - set(full_list)
         if unknown:
             raise ValueError(f"unknown benchmarks for this figure: {sorted(unknown)}")
-        return [name for name in full_list if name in set(self.benchmarks)]
+        return [name for name in full_list if name in wanted]
 
 
 @dataclass
@@ -110,6 +110,27 @@ class ComparisonResult:
         return self.detailed.wall_clock_seconds / self.interval.wall_clock_seconds
 
 
+def run_simulator(
+    name: str,
+    machine: MachineConfig,
+    workload: Workload,
+    config: ExperimentConfig,
+    **options: object,
+) -> SimulationStats:
+    """Run any registered simulator on one workload with the experiment budget.
+
+    ``name`` is resolved through the simulator registry
+    (:mod:`repro.api.registry`); ``options`` are model-specific keyword
+    options validated against the registered schema.
+    """
+    simulator = create_simulator(name, machine, **options)
+    return simulator.run(
+        workload,
+        max_cycles=config.max_cycles,
+        warmup_instructions=config.warmup_instructions,
+    )
+
+
 def run_interval(
     machine: MachineConfig,
     workload: Workload,
@@ -117,27 +138,22 @@ def run_interval(
     use_old_window: bool = True,
     model_overlap: bool = True,
 ) -> SimulationStats:
-    """Run the interval simulator on one workload with the experiment budget."""
-    simulator = IntervalSimulator(
-        machine, use_old_window=use_old_window, model_overlap=model_overlap
-    )
-    return simulator.run(
+    """Backwards-compatible wrapper for ``run_simulator("interval", ...)``."""
+    return run_simulator(
+        "interval",
+        machine,
         workload,
-        max_cycles=config.max_cycles,
-        warmup_instructions=config.warmup_instructions,
+        config,
+        use_old_window=use_old_window,
+        model_overlap=model_overlap,
     )
 
 
 def run_detailed(
     machine: MachineConfig, workload: Workload, config: ExperimentConfig
 ) -> SimulationStats:
-    """Run the detailed simulator on one workload with the experiment budget."""
-    simulator = DetailedSimulator(machine)
-    return simulator.run(
-        workload,
-        max_cycles=config.max_cycles,
-        warmup_instructions=config.warmup_instructions,
-    )
+    """Backwards-compatible wrapper for ``run_simulator("detailed", ...)``."""
+    return run_simulator("detailed", machine, workload, config)
 
 
 def compare_simulators(
@@ -147,8 +163,8 @@ def compare_simulators(
     label: str = "",
 ) -> ComparisonResult:
     """Run both simulators on ``workload`` and package the comparison."""
-    interval_stats = run_interval(machine, workload, config)
-    detailed_stats = run_detailed(machine, workload, config)
+    interval_stats = run_simulator("interval", machine, workload, config)
+    detailed_stats = run_simulator("detailed", machine, workload, config)
     return ComparisonResult(
         name=workload.name,
         interval=interval_stats,

@@ -23,7 +23,7 @@ from typing import List, Sequence
 from ..common.config import default_machine_config
 from ..trace.profiles import parsec_benchmark_names, spec_benchmark_names
 from ..trace.workloads import homogeneous_multiprogram_workload, multithreaded_workload
-from .runner import ExperimentConfig, render_table, run_detailed, run_interval
+from .runner import ExperimentConfig, render_table, run_simulator
 
 __all__ = [
     "SpeedupPoint",
@@ -120,8 +120,8 @@ def run_figure9_spec_speedup(
                 instructions=config.instructions,
                 seed=config.seed,
             )
-            interval_stats = run_interval(machine, workload, config)
-            detailed_stats = run_detailed(machine, workload, config)
+            interval_stats = run_simulator("interval", machine, workload, config)
+            detailed_stats = run_simulator("detailed", machine, workload, config)
             result.points.append(
                 SpeedupPoint(
                     benchmark=benchmark,
@@ -150,8 +150,8 @@ def run_figure10_parsec_speedup(
                 total_instructions=config.instructions,
                 seed=config.seed,
             )
-            interval_stats = run_interval(machine, workload, config)
-            detailed_stats = run_detailed(machine, workload, config)
+            interval_stats = run_simulator("interval", machine, workload, config)
+            detailed_stats = run_simulator("detailed", machine, workload, config)
             result.points.append(
                 SpeedupPoint(
                     benchmark=benchmark,

@@ -44,6 +44,8 @@ class CoreModel(abc.ABC):
         self.stats = stats
         self.sim_time = 0
         self.finished = False
+        # Subclasses assign the bound thread's cursor here in bind_thread().
+        self._cursor: Optional[TraceCursor] = None
 
     @abc.abstractmethod
     def bind_thread(self, cursor: TraceCursor, thread_id: int) -> None:
@@ -62,7 +64,7 @@ class CoreModel(abc.ABC):
     @property
     def has_thread(self) -> bool:
         """``True`` when a thread is bound to this core."""
-        return getattr(self, "_cursor", None) is not None
+        return self._cursor is not None
 
 
 class MulticoreSimulator(abc.ABC):

@@ -29,6 +29,7 @@ execution times — exactly the scaling experiment of Figure 7.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Optional
 
 from ..common.isa import Instruction, InstructionClass, SyncKind
@@ -75,7 +76,8 @@ class MultiThreadedTraceGenerator:
         if self.total_instructions <= 0:
             raise ValueError("total instruction count must be positive")
         self.seed = seed
-        self._rng = random.Random(seed ^ (hash(profile.name) & 0xFFFF_FFFF))
+        # crc32: stable across processes, unlike the salted builtin hash().
+        self._rng = random.Random(seed ^ zlib.crc32(profile.name.encode()))
 
     def generate(self) -> Workload:
         """Produce the workload: one trace per thread plus sync structure."""

@@ -45,6 +45,7 @@ Model overview
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -157,8 +158,11 @@ class SyntheticTraceGenerator:
     ) -> None:
         self.profile = profile
         self.thread_id = thread_id
+        # A process-independent hash of the profile name keeps trace
+        # generation reproducible across interpreter invocations and worker
+        # processes (builtin hash() of str is salted per process).
         self._rng = random.Random(
-            (hash(profile.name) & 0xFFFF_FFFF) ^ (seed * 2_654_435_761) ^ thread_id
+            zlib.crc32(profile.name.encode()) ^ (seed * 2_654_435_761) ^ thread_id
         )
         self._state = _GeneratorState()
         self._branch_sites: Dict[int, _BranchSite] = {}

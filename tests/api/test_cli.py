@@ -1,0 +1,121 @@
+"""CLI smoke tests: ``python -m repro`` subcommands end to end."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api.cli import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _run_module(*argv: str) -> subprocess.CompletedProcess:
+    """Run ``python -m repro <argv>`` in a fresh interpreter."""
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+class TestSubprocessSmoke:
+    def test_list_simulators(self):
+        proc = _run_module("list-simulators")
+        assert proc.returncode == 0, proc.stderr
+        for name in ("interval", "detailed", "oneipc"):
+            assert name in proc.stdout
+        assert "use_old_window" in proc.stdout
+
+    def test_compare_interval_detailed(self):
+        proc = _run_module(
+            "compare",
+            "--simulators", "interval,detailed",
+            "--benchmark", "gcc",
+            "--instructions", "4000",
+            "--warmup", "1000",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "interval" in proc.stdout and "detailed" in proc.stdout
+        assert "cycles err %" in proc.stdout
+
+
+class TestInProcessCli:
+    def test_run_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main([
+            "run",
+            "--simulator", "interval",
+            "--benchmark", "mcf",
+            "--instructions", "4000",
+            "--warmup", "1000",
+            "--json", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "IPC" in captured.out
+        document = json.loads(out.read_text())
+        assert document["simulator"] == "interval"
+        assert document["stats"]["total_instructions"] > 0
+
+    def test_run_with_option_override(self, capsys):
+        code = main([
+            "run",
+            "--simulator", "interval",
+            "--benchmark", "gcc",
+            "--instructions", "4000",
+            "--warmup", "1000",
+            "-o", "use_old_window=false",
+        ])
+        assert code == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_compare_saves_to_results_path(self, tmp_path, capsys):
+        results_path = tmp_path / "compare.json"
+        code = main([
+            "compare",
+            "--simulators", "interval,oneipc",
+            "--benchmark", "gcc",
+            "--instructions", "4000",
+            "--warmup", "1000",
+            "--workers", "2",
+            "--results", str(results_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert str(results_path) in captured.out
+        document = json.loads(results_path.read_text())
+        assert [r["simulator"] for r in document["results"]] == ["interval", "oneipc"]
+
+    def test_unknown_simulator_exits_nonzero(self, capsys):
+        code = main(["run", "--simulator", "flux_capacitor", "--instructions", "1000"])
+        assert code == 2
+        assert "unknown simulator" in capsys.readouterr().err
+
+    def test_bad_option_exits_nonzero(self, capsys):
+        code = main([
+            "run",
+            "--simulator", "interval",
+            "--benchmark", "gcc",
+            "--instructions", "1000",
+            "-o", "no_such_option=1",
+        ])
+        assert code == 2
+        assert "no option" in capsys.readouterr().err
+
+    def test_figure_smoke(self, capsys):
+        code = main(["figure", "5", "--preset", "quick", "--benchmarks", "gcc"])
+        assert code == 0
+        assert "Figure 5" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""Tests for the simulator registry: resolution, schemas, error cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import (
+    DEFAULT_REGISTRY,
+    DuplicateSimulatorError,
+    InvalidOptionError,
+    SimulatorOption,
+    SimulatorRegistry,
+    UnknownSimulatorError,
+    create_simulator,
+    get_simulator,
+    list_simulators,
+    register_simulator,
+    simulator_names,
+)
+from repro.common.config import default_machine_config
+from repro.core.interval_sim import IntervalSimulator
+from repro.detailed.detailed_sim import DetailedSimulator
+
+
+class TestBuiltinRegistrations:
+    def test_builtin_models_are_registered(self):
+        assert {"interval", "detailed", "oneipc"} <= set(simulator_names())
+
+    def test_entries_carry_descriptions(self):
+        for entry in list_simulators():
+            assert entry.description
+
+    def test_interval_option_schema(self):
+        entry = get_simulator("interval")
+        assert {opt.name for opt in entry.options} == {
+            "use_old_window",
+            "model_overlap",
+        }
+
+    def test_create_builds_the_right_classes(self):
+        machine = default_machine_config(1)
+        assert isinstance(create_simulator("interval", machine), IntervalSimulator)
+        assert isinstance(create_simulator("detailed", machine), DetailedSimulator)
+
+    def test_create_passes_options_through(self):
+        machine = default_machine_config(1)
+        simulator = create_simulator("interval", machine, use_old_window=False)
+        assert simulator.use_old_window is False
+        assert simulator.model_overlap is True
+
+
+class TestErrorCases:
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(UnknownSimulatorError) as excinfo:
+            get_simulator("cycle_accurate_plus")
+        assert "interval" in str(excinfo.value)
+
+    def test_unknown_simulator_error_is_a_keyerror(self):
+        assert issubclass(UnknownSimulatorError, KeyError)
+
+    def test_duplicate_registration_rejected(self):
+        registry = SimulatorRegistry()
+        registry.register("m", lambda machine: None)
+        with pytest.raises(DuplicateSimulatorError):
+            registry.register("m", lambda machine: None)
+
+    def test_duplicate_allowed_with_replace(self):
+        registry = SimulatorRegistry()
+        registry.register("m", lambda machine: "first")
+        registry.register("m", lambda machine: "second", replace=True)
+        assert registry.create("m", default_machine_config(1)) == "second"
+
+    def test_unknown_option_rejected(self):
+        machine = default_machine_config(1)
+        with pytest.raises(InvalidOptionError) as excinfo:
+            create_simulator("interval", machine, old_window=False)
+        assert "use_old_window" in str(excinfo.value)
+
+    def test_option_type_mismatch_rejected(self):
+        machine = default_machine_config(1)
+        with pytest.raises(InvalidOptionError):
+            create_simulator("interval", machine, use_old_window="maybe")
+
+
+class TestDecoratorRegistration:
+    def test_decorator_registers_in_custom_registry(self):
+        registry = SimulatorRegistry()
+
+        @register_simulator(
+            "toy",
+            registry=registry,
+            options=[SimulatorOption("knob", int, 4, "a knob")],
+        )
+        class ToySimulator:
+            """A toy model."""
+
+            def __init__(self, machine, knob=4):
+                self.machine = machine
+                self.knob = knob
+
+        assert "toy" in registry
+        assert "toy" not in DEFAULT_REGISTRY
+        built = registry.create("toy", default_machine_config(1), knob="7")
+        assert built.knob == 7  # coerced from the CLI-style string
+        assert registry.get("toy").description == "A toy model."
+
+
+class TestOptionCoercion:
+    def test_bool_strings(self):
+        option = SimulatorOption("flag", bool, True, "")
+        assert option.coerce("true") is True
+        assert option.coerce("0") is False
+        with pytest.raises(InvalidOptionError):
+            option.coerce("definitely")
