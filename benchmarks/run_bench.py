@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Run the simulator-throughput suite and write ``BENCH_throughput.json``.
+
+Standalone entry point for the benchmark harness in :mod:`repro.api.bench`
+(the same suite is available as ``repro bench``).  From the repository root::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+
+CI runs it on a tiny workload against the checked-in floor::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --instructions 8000 \
+        --baseline benchmarks/baseline_throughput.json --tolerance 0.2
+
+The report lands at the repository root by default, extending the
+performance trajectory the ROADMAP tracks; commit the refreshed file when a
+PR intentionally moves throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.api.bench import add_bench_arguments, run_bench_command  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure simulator throughput (simulated KIPS) per timing model."
+    )
+    add_bench_arguments(parser)
+    return run_bench_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,295 @@
+"""Throughput benchmark harness: the repository's performance trajectory.
+
+The paper's headline is simulation *speed* ("tens to hundreds of KIPS"), so
+the repository tracks its own: :func:`run_throughput_suite` times every
+registered timing model on a fixed seeded workload and reports simulated
+KIPS (thousand simulated instructions per host second) together with the
+model-level quantity that explains it, miss events per instruction — the
+interval-at-a-time kernel pays real work only at events.
+
+The suite powers three front ends:
+
+* ``repro bench`` (and ``benchmarks/run_bench.py``) writes the JSON report —
+  by convention ``BENCH_throughput.json`` at the repository root — so the
+  perf trajectory is versioned alongside the code;
+* ``--baseline`` compares the measured interval throughput against a
+  checked-in floor and fails the run on a regression, which is what the CI
+  benchmark job enforces;
+* ``benchmarks/test_simulator_throughput.py`` measures the same shape under
+  pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from ..common.config import default_machine_config
+from ..common.stats import Stopwatch
+from ..trace.workloads import single_threaded_workload
+from .registry import DEFAULT_REGISTRY, SimulatorRegistry
+
+__all__ = [
+    "DEFAULT_BENCH_FILENAME",
+    "run_throughput_suite",
+    "check_baseline",
+    "write_report",
+    "render_report",
+    "add_bench_arguments",
+    "run_bench_command",
+]
+
+#: Conventional report path (relative to the invoking directory, which for
+#: repository workflows is the repository root).
+DEFAULT_BENCH_FILENAME = "BENCH_throughput.json"
+
+#: Report schema version, bumped on incompatible change.
+BENCH_FORMAT_VERSION = 1
+
+
+def run_throughput_suite(
+    benchmark: str = "gcc",
+    instructions: int = 20_000,
+    warmup_instructions: Optional[int] = None,
+    simulators: Sequence[str] = ("interval", "detailed", "oneipc"),
+    repeats: int = 3,
+    seed: int = 0,
+    registry: Optional[SimulatorRegistry] = None,
+) -> Dict[str, object]:
+    """Time every requested simulator on one seeded workload.
+
+    Each simulator runs ``repeats`` times on the *same* workload object (the
+    columnar batch is pre-built so every round measures steady state) and the
+    fastest round is reported, which filters scheduler noise the way
+    pytest-benchmark's ``min`` column does.  Returns the JSON-safe report.
+    """
+    if instructions <= 0:
+        raise ValueError("instructions must be positive")
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    active_registry = registry if registry is not None else DEFAULT_REGISTRY
+    warmup = (
+        warmup_instructions if warmup_instructions is not None else instructions // 2
+    )
+    workload = single_threaded_workload(benchmark, instructions=instructions, seed=seed)
+    for trace in workload.traces:
+        trace.batch()  # steady state: the batch is per-trace, built once
+    machine = default_machine_config(num_cores=1)
+
+    results: Dict[str, Dict[str, object]] = {}
+    for name in simulators:
+        entry = active_registry.get(name)  # fail early on unknown names
+        best_wall: Optional[float] = None
+        stats = None
+        for _ in range(repeats):
+            simulator = active_registry.create(name, machine)
+            stopwatch = Stopwatch()
+            stopwatch.start()
+            round_stats = simulator.run(workload, warmup_instructions=warmup)
+            wall = stopwatch.stop()
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+                stats = round_stats
+        assert stats is not None and best_wall is not None
+        timed_instructions = stats.total_instructions
+        results[name] = {
+            "description": entry.description,
+            "best_wall_seconds": best_wall,
+            # Whole-run throughput: warm-up + timed instructions over the
+            # fastest wall time (the figure the 3x acceptance bar uses).
+            "whole_run_kips": instructions / best_wall / 1000.0 if best_wall else 0.0,
+            # Timed-region throughput, comparable to the paper's KIPS quotes:
+            # the simulator's own stopwatch starts after functional warm-up,
+            # so this is timed instructions over timed wall time.
+            "simulated_kips": stats.simulated_kips(),
+            "timed_instructions": timed_instructions,
+            "total_miss_events": stats.total_miss_events,
+            "events_per_instruction": stats.events_per_instruction,
+            "aggregate_ipc": stats.aggregate_ipc,
+        }
+
+    speedups: Dict[str, float] = {}
+    reference = results.get("detailed")
+    if reference and reference["best_wall_seconds"]:
+        for name, row in results.items():
+            if name == "detailed" or not row["best_wall_seconds"]:
+                continue
+            speedups[name] = (
+                float(reference["best_wall_seconds"]) / float(row["best_wall_seconds"])
+            )
+
+    return {
+        "format_version": BENCH_FORMAT_VERSION,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "workload": {
+            "benchmark": benchmark,
+            "instructions": instructions,
+            "warmup_instructions": warmup,
+            "seed": seed,
+        },
+        "repeats": repeats,
+        "results": results,
+        "speedup_vs_detailed": speedups,
+    }
+
+
+def check_baseline(
+    report: Mapping[str, object],
+    baseline: Mapping[str, object],
+    tolerance: float = 0.2,
+) -> List[str]:
+    """Compare a report against a checked-in throughput floor.
+
+    ``baseline`` maps ``"<simulator>_kips"`` keys (e.g. ``interval_kips``) to
+    minimum acceptable whole-run KIPS; a measured value below
+    ``floor * (1 - tolerance)`` is a regression.  Returns the list of failure
+    messages (empty when everything passes).  Baselines are deliberately
+    coarse — CI machines vary — so the gate catches order-of-magnitude
+    kernel regressions, not scheduler noise.
+    """
+    failures: List[str] = []
+    results = report.get("results", {})
+    assert isinstance(results, Mapping)
+    for key, floor in baseline.items():
+        if not isinstance(key, str) or not key.endswith("_kips"):
+            continue
+        simulator = key[: -len("_kips")]
+        row = results.get(simulator)
+        if row is None:
+            failures.append(f"baseline names {simulator!r} but it was not measured")
+            continue
+        measured = float(row["whole_run_kips"])  # type: ignore[index,call-overload]
+        threshold = float(floor) * (1.0 - tolerance)  # type: ignore[arg-type]
+        if measured < threshold:
+            failures.append(
+                f"{simulator}: {measured:.1f} KIPS is below the baseline floor "
+                f"{float(floor):.1f} KIPS - {tolerance:.0%} = {threshold:.1f} KIPS"  # type: ignore[arg-type]
+            )
+    return failures
+
+
+def write_report(
+    report: Mapping[str, object], path: Union[str, os.PathLike]
+) -> None:
+    """Write a throughput report as an indented JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_report(report: Mapping[str, object]) -> str:
+    """Human-readable table for a throughput report."""
+    from ..experiments.runner import render_table
+
+    workload = report.get("workload", {})
+    assert isinstance(workload, Mapping)
+    rows = []
+    results = report.get("results", {})
+    assert isinstance(results, Mapping)
+    speedups = report.get("speedup_vs_detailed", {})
+    assert isinstance(speedups, Mapping)
+    for name, row in results.items():
+        rows.append(
+            (
+                name,
+                float(row["whole_run_kips"]),
+                float(row["simulated_kips"]),
+                float(row["events_per_instruction"]),
+                float(row["aggregate_ipc"]),
+                float(row["best_wall_seconds"]) * 1000.0,
+                float(speedups.get(name, 1.0)) if name != "detailed" else 1.0,
+            )
+        )
+    return render_table(
+        [
+            "simulator",
+            "whole-run KIPS",
+            "timed KIPS",
+            "events/instr",
+            "IPC",
+            "best ms",
+            "speedup vs detailed",
+        ],
+        rows,
+        title=(
+            f"Simulator throughput on {workload.get('benchmark')} "
+            f"({workload.get('instructions')} instructions, "
+            f"{workload.get('warmup_instructions')} warm-up)"
+        ),
+    )
+
+
+# -- CLI plumbing shared by `repro bench` and benchmarks/run_bench.py ------------
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the benchmark flags to an argparse parser."""
+    parser.add_argument("--benchmark", default="gcc", help="benchmark name")
+    parser.add_argument(
+        "--instructions", type=int, default=20_000, help="instructions to simulate"
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None, help="warm-up instructions (default: half)"
+    )
+    parser.add_argument(
+        "--simulators",
+        default="interval,detailed,oneipc",
+        help="comma-separated registry names",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing rounds per simulator (best wins)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trace-generation seed")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=DEFAULT_BENCH_FILENAME,
+        help=f"report path (default: ./{DEFAULT_BENCH_FILENAME})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="checked-in baseline JSON; exit non-zero when interval throughput "
+        "regresses beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fraction below the baseline floor (default: 0.2)",
+    )
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    """Execute the benchmark suite described by parsed CLI flags."""
+    simulators = [name.strip() for name in args.simulators.split(",") if name.strip()]
+    if not simulators:
+        raise SystemExit("error: --simulators needs at least one name")
+    report = run_throughput_suite(
+        benchmark=args.benchmark,
+        instructions=args.instructions,
+        warmup_instructions=args.warmup,
+        simulators=simulators,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(render_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"report written to {args.output}")
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_baseline(report, baseline, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"BASELINE REGRESSION: {failure}")
+            return 1
+        print(f"baseline check passed ({args.baseline}, tolerance {args.tolerance:.0%})")
+    return 0

@@ -11,6 +11,9 @@ Subcommands:
     Run several simulators on the same workload (in parallel with
     ``--workers``), persist the results to a shared JSON path, reload them
     and print a comparison table.
+``bench``
+    Run the simulator-throughput suite and write ``BENCH_throughput.json``
+    (optionally gating against a checked-in baseline).
 ``figure``
     Reproduce one paper artifact (Figures 4–10 or the ablations) at a
     chosen budget preset.
@@ -30,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 from ..common.config import default_machine_config
 from ..common.metrics import percentage_error
 from ..experiments.presets import PRESET_NAMES
+from .bench import add_bench_arguments, run_bench_command
 from .registry import (
     InvalidOptionError,
     UnknownSimulatorError,
@@ -99,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared result path; results are saved there and the table is "
         "rendered from the reloaded file (default: a temporary file)",
     )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the simulator-throughput suite and write BENCH_throughput.json",
+    )
+    add_bench_arguments(bench_parser)
 
     figure_parser = subparsers.add_parser(
         "figure", help="reproduce one paper artifact"
@@ -344,6 +354,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "list-simulators": _cmd_list_simulators,
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "bench": run_bench_command,
         "figure": _cmd_figure,
     }
     try:

@@ -56,13 +56,33 @@ class RunResult:
         """Simulated execution time of the run in cycles."""
         return self.stats.total_cycles
 
+    @property
+    def simulated_kips(self) -> float:
+        """Simulation throughput (thousand simulated instructions per host second)."""
+        return self.stats.simulated_kips()
+
+    @property
+    def events_per_instruction(self) -> float:
+        """Miss events per committed instruction (interval density)."""
+        return self.stats.events_per_instruction
+
     def as_dict(self) -> Dict[str, object]:
-        """JSON-safe dictionary of the whole result."""
+        """JSON-safe dictionary of the whole result.
+
+        The ``metrics`` block is derived (recomputed on load, never parsed
+        back): it records the run's throughput trajectory — simulated KIPS
+        and miss events per instruction — next to the raw statistics.
+        """
         return {
             "simulator": self.simulator,
             "workload": self.workload,
             "label": self.label,
             "parameters": dict(self.parameters),
+            "metrics": {
+                "simulated_kips": self.simulated_kips,
+                "events_per_instruction": self.events_per_instruction,
+                "aggregate_ipc": self.stats.aggregate_ipc,
+            },
             "stats": self.stats.as_dict(),
         }
 

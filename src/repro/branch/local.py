@@ -73,8 +73,19 @@ class LocalPredictor(BranchPredictor):
         pc = instruction.pc
         actual_taken = instruction.is_taken
 
-        predicted_taken = self.predict_direction(pc)
-        self.update_direction(pc, actual_taken)
+        # Inlined predict_direction + update_direction (hot path).
+        index = (pc >> 2) % self._history_entries
+        histories = self._histories
+        counters = self._counters
+        history = histories[index]
+        counter = counters[history]
+        predicted_taken = counter >= self._counter_threshold
+        if actual_taken:
+            if counter < self._counter_max:
+                counters[history] = counter + 1
+        elif counter > 0:
+            counters[history] = counter - 1
+        histories[index] = ((history << 1) | (1 if actual_taken else 0)) & self._history_mask
 
         correct = predicted_taken == actual_taken
         if not correct:

@@ -110,6 +110,24 @@ class CoreStats:
         return self.branch_mispredictions / self.branch_lookups
 
     @property
+    def miss_events(self) -> int:
+        """Total miss events (interval delimiters) this core saw.
+
+        The interval taxonomy of the paper: I-cache and I-TLB misses, branch
+        mispredictions, long-latency loads and serializing instructions.
+        This is the event count the interval-at-a-time kernel pays real work
+        for — everything between two events is charged arithmetically — so
+        ``miss_events / instructions`` is the lever behind simulation speed.
+        """
+        return (
+            self.icache_misses
+            + self.itlb_misses
+            + self.branch_mispredictions
+            + self.long_latency_loads
+            + self.serializing_instructions
+        )
+
+    @property
     def l1d_miss_rate(self) -> float:
         """L1 D-cache misses per data-cache access."""
         if self.dcache_accesses == 0:
@@ -268,6 +286,19 @@ class SimulationStats:
         if self.wall_clock_seconds <= 0:
             return 0.0
         return self.total_instructions / self.wall_clock_seconds / 1000.0
+
+    @property
+    def total_miss_events(self) -> int:
+        """Total miss events (interval delimiters) across all cores."""
+        return sum(core.miss_events for core in self.cores)
+
+    @property
+    def events_per_instruction(self) -> float:
+        """Miss events per committed instruction (the interval density)."""
+        instructions = self.total_instructions
+        if instructions == 0:
+            return 0.0
+        return self.total_miss_events / instructions
 
     def as_dict(self) -> Dict[str, object]:
         """Flatten the run's statistics for reporting."""

@@ -10,7 +10,7 @@ paper positions itself against (:mod:`repro.core.oneipc`).
 
 from .interval_core import IntervalCore
 from .interval_sim import IntervalSimulator
-from .old_window import OldWindow, OldWindowEntry
+from .old_window import OldWindow
 from .oneipc import OneIPCCore, OneIPCSimulator
 from .window import InstructionWindow, WindowEntry
 
@@ -18,7 +18,6 @@ __all__ = [
     "IntervalCore",
     "IntervalSimulator",
     "OldWindow",
-    "OldWindowEntry",
     "OneIPCCore",
     "OneIPCSimulator",
     "InstructionWindow",

@@ -21,24 +21,78 @@ Synchronization pseudo-instructions (barriers, locks) are interpreted through
 the shared :class:`~repro.multicore.sync.SynchronizationManager`; a core that
 must wait simply stalls for the cycle, so inter-thread timing emerges from
 the interleaving of per-core simulated times.
+
+Execution engine
+----------------
+The model above is *interval level*: between two miss events nothing happens
+except dispatch at the effective rate.  :class:`IntervalCore` therefore runs
+an **interval-at-a-time kernel**: :meth:`IntervalCore.simulate_interval`
+consumes the columnar trace batch (:class:`~repro.trace.columnar.TraceBatch`)
+directly, tracks the instruction window *implicitly* as a sliding index range
+plus one flag byte per instruction, and charges interval cycles with pure
+arithmetic — the per-instruction object traffic (window entries, access
+results, attribute chains) of a detailed simulator is gone from the hot path.
+
+Fetches are verified interval-at-a-time through the hierarchy's batched probe
+(:meth:`~repro.memory.hierarchy.MemoryHierarchy.access_block`): one call
+commits the fetch hit path for every upcoming instruction until the next
+fetch *miss* — the kernel's ``_fetch_limit``.  This is sound because a fetch
+hit touches only the core's private L1 I-cache and I-TLB: it commutes with
+every data-side and remote-core operation, so committing the hits early
+preserves each structure's access sequence exactly (sync pseudo-ops, which
+never fetch, are pre-marked in the flag byte and skipped; the overlap scan
+credits already-verified positions as overlapped fetches without re-touching
+the hierarchy).
+
+``simulate_cycle`` remains the :class:`~repro.multicore.simulator.CoreModel`
+entry point and now simulates one whole event step per call, preserving the
+multi-core contract (the per-core time always jumps strictly past
+``multi_core_time``).
+
+The kernel is observably *bit-identical* to the reference per-cycle
+formulation: every branch-predictor access, every per-structure memory
+access sequence and every statistic match value for value
+(``tests/regression`` pins this against a frozen golden corpus).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import List, Optional, Set
 
 from ..branch import BranchPredictor
 from ..common.config import MachineConfig
 from ..common.isa import Instruction, InstructionClass, SyncKind
 from ..common.stats import CoreStats
-from ..memory.hierarchy import AccessResult, MemoryHierarchy
+from ..memory.hierarchy import MemoryHierarchy
 from ..multicore.simulator import CoreModel
 from ..multicore.sync import SynchronizationManager
+from ..trace.columnar import FLAG_NO_FETCH, KLASS_PLAIN, TraceBatch
 from ..trace.stream import TraceCursor
 from .old_window import OldWindow
-from .window import InstructionWindow, WindowEntry
 
 __all__ = ["IntervalCore"]
+
+
+# Instruction-class codes, hoisted so the kernel compares plain ints.
+_LOAD = int(InstructionClass.LOAD)
+_STORE = int(InstructionClass.STORE)
+_BRANCH = int(InstructionClass.BRANCH)
+_SERIALIZING = int(InstructionClass.SERIALIZING)
+_SYNC = int(InstructionClass.SYNC)
+
+_SK_BARRIER = int(SyncKind.BARRIER)
+_SK_LOCK_ACQUIRE = int(SyncKind.LOCK_ACQUIRE)
+_SK_LOCK_RELEASE = int(SyncKind.LOCK_RELEASE)
+
+# Flag bits, one byte per trace position (the implicit window's per-entry
+# state).  Bits 1/2/4 are the ``I/br/D_overlapped`` flags of the Figure-3
+# pseudocode; bit 8 (shared with the batch's fetch-skip template) marks sync
+# pseudo-ops, which never access the I-side.
+_F_IOVR = 1
+_F_BROVR = 2
+_F_DOVR = 4
+_F_NOFETCH = FLAG_NO_FETCH
+_F_SKIP_FETCH = _F_IOVR | _F_NOFETCH
 
 
 class IntervalCore(CoreModel):
@@ -61,7 +115,6 @@ class IntervalCore(CoreModel):
         self.hierarchy = hierarchy
         self.predictor = predictor
         self.sync = sync
-        self.window = InstructionWindow(config.core.rob_entries)
         self.old_window = OldWindow(
             capacity=config.core.rob_entries,
             dispatch_width=config.core.dispatch_width,
@@ -69,7 +122,6 @@ class IntervalCore(CoreModel):
         self._cursor: Optional[TraceCursor] = None
         self._thread_id: Optional[int] = None
         self._waiting_barrier: Optional[int] = None
-        self._dispatch_credit = 0.0
         # Ablation switches (both on for the paper's full model):
         # use_old_window=False disables the old-window estimates (fixed
         # dispatch rate, zero branch resolution time), reverting to the prior
@@ -78,6 +130,17 @@ class IntervalCore(CoreModel):
         # loads.
         self.use_old_window = use_old_window
         self.model_overlap = model_overlap
+        # Columnar kernel state, bound in bind_thread(): the implicit window
+        # is the index range [_head, _tail) over the trace batch, _ovr holds
+        # the per-position flag byte, and positions below _fetch_limit have
+        # already performed their (verified-hit) fetch.
+        self._batch: Optional[TraceBatch] = None
+        self._n = 0
+        self._head = 0
+        self._tail = 0
+        self._fetch_limit = 0
+        self._ovr = bytearray()
+        self._lat: List[int] = []
 
     # -- CoreModel interface -----------------------------------------------------
 
@@ -85,95 +148,381 @@ class IntervalCore(CoreModel):
         """Attach a software thread's instruction stream to this core."""
         self._cursor = cursor
         self._thread_id = thread_id
-        self._fill_window()
+        batch = cursor.trace.batch()
+        self._batch = batch
+        self._n = batch.length
+        self._lat = batch.latency_table(self.core_config.execution_latencies)
+        self._ovr = bytearray(batch.fetch_skip_template)
+        # The window fills immediately from the stream (tail feed); the
+        # cursor position accounts for any functionally-warmed prefix.
+        self._head = cursor.position
+        self._tail = min(self._head + self.core_config.rob_entries, batch.length)
+        self._fetch_limit = self._head
+        cursor.advance_to(self._tail)
 
     def simulate_cycle(self, multi_core_time: int) -> None:
-        """Simulate one cycle of this core (Figure 3, lines 5–68)."""
+        """Simulate one event step of this core (Figure 3, lines 5–68)."""
         if self.finished or self._cursor is None:
             return
         if self.sim_time != multi_core_time:
             return
+        self.simulate_interval(multi_core_time + 1)
 
-        self._fill_window()
-        if self.window.is_empty:
-            self._finish()
-            return
+    def simulate_interval(self, run_until: int) -> None:
+        """Run the interval kernel until ``sim_time`` reaches ``run_until``.
 
-        instructions_dispatched = 0
-        while (
-            self.sim_time == multi_core_time
-            and instructions_dispatched < self._effective_dispatch_rate()
-        ):
-            entry = self.window.head()
-            if entry is None:
-                self._finish()
-                return
-            instruction = entry.instruction
-
-            if instruction.is_sync:
-                if not self._handle_sync(instruction):
-                    # Blocked at a barrier or contended lock: the core stalls
-                    # this cycle; it will retry once global time catches up.
-                    self.stats.sync_stall_cycles += 1
-                    break
-                self._dispatch(entry, latency=1)
-                instructions_dispatched += 1
-                continue
-
-            effective_latency = self._handle_instruction(entry)
-            self._dispatch(entry, latency=effective_latency)
-            instructions_dispatched += 1
-
-        # Figure 3 lines 67–68: if no miss event advanced the per-core time,
-        # the core consumed exactly one cycle.
-        if self.sim_time == multi_core_time:
-            self.sim_time += 1
-
-    # -- dispatch bookkeeping ------------------------------------------------------
-
-    def _effective_dispatch_rate(self) -> float:
-        """Effective dispatch rate for the current cycle.
-
-        The full model derives it from the old window's critical path via
-        Little's law; with the old window disabled (ablation) the designed
-        dispatch width is used, as simple simulators commonly assume.
+        Consumes whole intervals per event: one batched probe verifies the
+        fetch path up to the next I-side miss, the run is then charged at the
+        effective dispatch rate with pure arithmetic, and the miss-event
+        machinery (penalties, old-window emptying, the overlap scan) executes
+        only at event boundaries.  The multi-core driver picks ``run_until``
+        as the next moment another core must interleave.
         """
-        if not self.use_old_window:
-            return float(self.core_config.dispatch_width)
-        return self.old_window.effective_dispatch_rate(self.core_config.rob_entries)
+        if self.finished or self._cursor is None:
+            return
+        sim_time = self.sim_time
+        if sim_time >= run_until:
+            return
 
-    def _branch_resolution_time(self, instruction: Instruction, latency: int) -> float:
-        """Branch resolution time estimate (zero when the old window is off)."""
-        if not self.use_old_window:
-            return float(latency)
-        return self.old_window.branch_resolution_time(instruction, branch_latency=latency)
+        # -- hot-loop aliases -----------------------------------------------------
+        stats = self.stats
+        batch = self._batch
+        assert batch is not None
+        klass = batch.klass
+        pcs = batch.pc
+        addrs = batch.mem_addr
+        lines = batch.mem_line
+        srcs_col = batch.src_regs
+        dst_col = batch.dst_reg
+        sync_kind_col = batch.sync_kind
+        sync_obj_col = batch.sync_object
+        instrs = batch.instructions
+        ovr = self._ovr
+        lat_table = self._lat
+        plain = KLASS_PLAIN
+        n = self._n
+        head = self._head
+        tail = self._tail
+        fetch_limit = self._fetch_limit
 
-    def _window_drain_time(self) -> float:
-        """Window drain time estimate for serializing instructions."""
-        if not self.use_old_window:
-            return len(self.window) / self.core_config.dispatch_width
-        return self.old_window.window_drain_time()
+        rob = self.core_config.rob_entries
+        width_i = self.core_config.dispatch_width
+        width_f = float(width_i)
+        fe_depth = self.core_config.frontend_pipeline_depth
 
-    def _dispatch(self, entry: WindowEntry, latency: int) -> None:
-        """Remove the head entry, insert it in the old window, refill the tail."""
-        self.window.pop_head()
-        instruction = entry.instruction
-        if not instruction.is_sync:
-            self.old_window.insert(instruction, latency)
-        self.stats.instructions += 1
-        self._fill_window()
-        if self.window.is_empty and self._cursor is not None and self._cursor.exhausted:
+        hierarchy = self.hierarchy
+        core_id = self.core_id
+        probe = hierarchy.instruction_probe
+        fetch_block = hierarchy.access_block
+        data_probe = hierarchy.data_probe
+        predictor_access = self.predictor.access
+
+        use_ow = self.use_old_window
+        model_overlap = self.model_overlap
+        ow = self.old_window
+        ow_issue = ow._entries
+        ow_append = ow_issue.append
+        ow_pop = ow_issue.popleft
+        reg_ready = ow._register_ready
+        store_ready = ow._store_ready
+        ow_head_t = ow._head_time
+        ow_tail_t = ow._tail_time
+        ow_cap = ow.capacity
+        trim_at = 4 * ow_cap
+        instr_count = stats.instructions
+
+        while sim_time < run_until and not self.finished:
+            if head >= n:
+                break  # window empty at cycle start (empty trace)
+            mct = sim_time
+            dispatched = 0
+            while sim_time == mct:
+                # Effective dispatch rate for this cycle, re-derived from the
+                # old window's critical path after every insert.
+                if use_ow:
+                    cp = ow_tail_t - ow_head_t
+                    if cp <= 0.0:
+                        rate = width_f
+                    else:
+                        rate = rob / cp
+                        if rate > width_f:
+                            rate = width_f
+                else:
+                    rate = width_f
+                if dispatched >= rate:
+                    break
+                if head >= n:
+                    # Trace exhausted mid-cycle: the end-of-cycle increment
+                    # is skipped, exactly like the reference formulation.
+                    self._store_kernel_state(
+                        head, tail, fetch_limit, sim_time, instr_count,
+                        ow_head_t, ow_tail_t,
+                    )
+                    self._finish()
+                    return
+
+                k = klass[head]
+
+                # -- I-cache and I-TLB (lines 12–18) --
+                # Positions below fetch_limit already performed their
+                # (verified-hit) fetch through the batched probe; overlapped
+                # and sync positions never fetch at the head.
+                if head >= fetch_limit and not ovr[head] & _F_SKIP_FETCH:
+                    # One batched probe commits every upcoming fetch hit and
+                    # stops at the next I-side miss event.
+                    fetch_limit = fetch_block(
+                        core_id, pcs, head, n, ovr, _F_SKIP_FETCH
+                    )
+                    if fetch_limit == head:
+                        result = probe(core_id, pcs[head], sim_time)
+                        fetch_limit = head + 1
+                        if result is not None:
+                            if result.l1_miss:
+                                stats.icache_misses += 1
+                            if result.tlb_miss:
+                                stats.itlb_misses += 1
+                            penalty = result.penalty
+                            sim_time += penalty
+                            stats.icache_penalty_cycles += penalty
+                            if use_ow:
+                                ow_issue.clear()
+                                reg_ready.clear()
+                                store_ready.clear()
+                                ow_head_t = 0.0
+                                ow_tail_t = 0.0
+
+                if plain[k]:
+                    # -- plain instruction: dispatch is pure arithmetic --
+                    if use_ow:
+                        ready = ow_head_t
+                        for register in srcs_col[head]:
+                            produced = reg_ready.get(register)
+                            if produced is not None and produced > ready:
+                                ready = produced
+                        issue = ready + lat_table[k]
+                        ow_append(issue)
+                        if issue > ow_tail_t:
+                            ow_tail_t = issue
+                        dst = dst_col[head]
+                        if dst is not None:
+                            reg_ready[dst] = issue
+                        if len(ow_issue) > ow_cap:
+                            removed = ow_pop()
+                            if removed > ow_head_t:
+                                ow_head_t = removed
+                    instr_count += 1
+                    head += 1
+                    tail = head + rob
+                    if tail > n:
+                        tail = n
+                    dispatched += 1
+                    if head >= n:
+                        self._store_kernel_state(
+                            head, tail, fetch_limit, sim_time, instr_count,
+                            ow_head_t, ow_tail_t,
+                        )
+                        self._finish()
+                    continue
+
+                if k == _SYNC:
+                    # -- synchronization pseudo-instruction (no fetch) --
+                    if not self._handle_sync_kind(
+                        sync_kind_col[head], sync_obj_col[head]
+                    ):
+                        # Blocked at a barrier or contended lock: the core
+                        # stalls this cycle; it will retry once global time
+                        # catches up.
+                        stats.sync_stall_cycles += 1
+                        break
+                    instr_count += 1  # sync ops skip the old window
+                    head += 1
+                    tail = head + rob
+                    if tail > n:
+                        tail = n
+                    dispatched += 1
+                    if head >= n:
+                        self._store_kernel_state(
+                            head, tail, fetch_limit, sim_time, instr_count,
+                            ow_head_t, ow_tail_t,
+                        )
+                        self._finish()
+                    continue
+
+                # -- event-capable instruction: branch / load / store / serializing --
+                fb = ovr[head]
+                latency = lat_table[k]
+
+                if k == _BRANCH:
+                    # -- branch prediction (lines 21–28) --
+                    if not fb & _F_BROVR:
+                        stats.branch_lookups += 1
+                        if not predictor_access(instrs[head]):
+                            stats.branch_mispredictions += 1
+                            if use_ow:
+                                # Branch resolution time: longest dependence
+                                # chain to the branch from the old-window head.
+                                ready = ow_head_t
+                                for register in srcs_col[head]:
+                                    produced = reg_ready.get(register)
+                                    if produced is not None and produced > ready:
+                                        ready = produced
+                                chain = ready - ow_head_t
+                                resolution = (chain if chain > 0.0 else 0.0) + latency
+                            else:
+                                resolution = float(latency)
+                            penalty = int(round(resolution)) + fe_depth
+                            sim_time += penalty
+                            stats.branch_penalty_cycles += penalty
+                            if use_ow:
+                                ow_issue.clear()
+                                reg_ready.clear()
+                                store_ready.clear()
+                                ow_head_t = 0.0
+                                ow_tail_t = 0.0
+                elif k == _SERIALIZING:
+                    # -- serializing instructions (lines 56–59) --
+                    stats.serializing_instructions += 1
+                    if use_ow:
+                        dispatch_bound = len(ow_issue) / width_i
+                        cp = ow_tail_t - ow_head_t
+                        if cp < 0.0:
+                            cp = 0.0
+                        drain_time = dispatch_bound if dispatch_bound > cp else cp
+                    else:
+                        drain_time = (tail - head) / width_i
+                    drain = int(round(drain_time))
+                    sim_time += drain
+                    stats.serializing_penalty_cycles += drain
+                    if use_ow:
+                        ow_issue.clear()
+                        reg_ready.clear()
+                        store_ready.clear()
+                        ow_head_t = 0.0
+                        ow_tail_t = 0.0
+                else:
+                    # -- loads and stores (lines 31–53) --
+                    is_store = k == _STORE
+                    if is_store or not fb & _F_DOVR:
+                        result = data_probe(core_id, addrs[head], is_store, sim_time)
+                        stats.dcache_accesses += 1
+                        if result is None:
+                            # L1/TLB hit: no penalty, no miss event.
+                            if is_store:
+                                stats.committed_stores += 1
+                            else:
+                                stats.committed_loads += 1
+                        else:
+                            if result.l1_miss:
+                                stats.l1d_misses += 1
+                            if result.tlb_miss:
+                                stats.dtlb_misses += 1
+                            if is_store:
+                                stats.committed_stores += 1
+                                # Stores retire through the store buffer;
+                                # they do not stall dispatch in the interval
+                                # model.
+                            else:
+                                stats.committed_loads += 1
+                                if result.long_latency:
+                                    stats.long_latency_loads += 1
+                                    # Second-order effects: resolve
+                                    # independent miss events hidden
+                                    # underneath the long-latency load.
+                                    if model_overlap:
+                                        self._scan_under_long_latency_load(
+                                            head, tail, fetch_limit, sim_time
+                                        )
+                                    penalty = result.penalty
+                                    sim_time += penalty
+                                    stats.long_load_penalty_cycles += penalty
+                                    if use_ow:
+                                        ow_issue.clear()
+                                        reg_ready.clear()
+                                        store_ready.clear()
+                                        ow_head_t = 0.0
+                                        ow_tail_t = 0.0
+                                else:
+                                    # L1 miss served by the L2: fold the
+                                    # latency into the execution latency so
+                                    # the critical path (and hence the
+                                    # effective dispatch rate) reflects it.
+                                    latency += result.penalty
+
+                # Dispatch: insert into the (possibly just-emptied) old window.
+                if use_ow:
+                    ready = ow_head_t
+                    for register in srcs_col[head]:
+                        produced = reg_ready.get(register)
+                        if produced is not None and produced > ready:
+                            ready = produced
+                    mem_line = lines[head]
+                    if mem_line is not None:
+                        stored = store_ready.get(mem_line)
+                        if stored is not None and stored > ready:
+                            ready = stored
+                    issue = ready + latency
+                    ow_append(issue)
+                    if issue > ow_tail_t:
+                        ow_tail_t = issue
+                    dst = dst_col[head]
+                    if dst is not None:
+                        reg_ready[dst] = issue
+                    if k == _STORE and mem_line is not None:
+                        store_ready[mem_line] = issue
+                        if len(store_ready) > trim_at:
+                            ow._trim_store_table()
+                    if len(ow_issue) > ow_cap:
+                        removed = ow_pop()
+                        if removed > ow_head_t:
+                            ow_head_t = removed
+                instr_count += 1
+                head += 1
+                tail = head + rob
+                if tail > n:
+                    tail = n
+                dispatched += 1
+                if head >= n:
+                    self._store_kernel_state(
+                        head, tail, fetch_limit, sim_time, instr_count,
+                        ow_head_t, ow_tail_t,
+                    )
+                    self._finish()
+
+            # Figure 3 lines 67–68: if no miss event advanced the per-core
+            # time, the core consumed exactly one cycle.
+            if sim_time == mct:
+                sim_time += 1
+
+        self._store_kernel_state(
+            head, tail, fetch_limit, sim_time, instr_count, ow_head_t, ow_tail_t
+        )
+        if head >= n and not self.finished:
             self._finish()
 
-    def _fill_window(self) -> None:
-        """Feed instructions from the functional stream into the window tail."""
+    # -- kernel bookkeeping --------------------------------------------------------
+
+    def _store_kernel_state(
+        self,
+        head: int,
+        tail: int,
+        fetch_limit: int,
+        sim_time: int,
+        instructions: int,
+        ow_head_t: float,
+        ow_tail_t: float,
+    ) -> None:
+        """Write the kernel's loop-local state back onto the core objects."""
+        self._head = head
+        self._tail = tail
+        self._fetch_limit = fetch_limit
+        self.sim_time = sim_time
+        self.stats.instructions = instructions
+        if self.use_old_window:
+            self.old_window._head_time = ow_head_t
+            self.old_window._tail_time = ow_tail_t
         cursor = self._cursor
-        if cursor is None:
-            return
-        while not self.window.is_full and not cursor.exhausted:
-            instruction = cursor.next()
-            assert instruction is not None
-            self.window.push_tail(instruction)
+        if cursor is not None and cursor.position < tail:
+            cursor.advance_to(tail)
 
     def _finish(self) -> None:
         """Record completion of this core's trace."""
@@ -194,190 +543,150 @@ class IntervalCore(CoreModel):
         if self.sync is not None and self._thread_id is not None:
             self.sync.thread_finished(self._thread_id)
 
-    # -- miss-event handling (Figure 3 lines 11–59) -----------------------------------
+    # -- miss-event handling (Figure 3 lines 35–49) -----------------------------------
 
-    def _handle_instruction(self, entry: WindowEntry) -> int:
-        """Handle the instruction at the window head; returns its latency.
-
-        The returned latency is what the old window records for the
-        instruction: its execution latency including any L1 data-cache miss
-        latency, but excluding long-latency misses which are charged as
-        separate miss events.
-        """
-        instruction = entry.instruction
-        latency = instruction.base_latency(self.core_config.execution_latencies)
-
-        # -- I-cache and I-TLB (lines 12–18) --
-        if not entry.i_overlapped:
-            result = self.hierarchy.instruction_access(
-                self.core_id, instruction.pc, now=self.sim_time
-            )
-            if result.l1_miss or result.tlb_miss:
-                if result.l1_miss:
-                    self.stats.icache_misses += 1
-                if result.tlb_miss:
-                    self.stats.itlb_misses += 1
-                self.sim_time += result.penalty
-                self.stats.icache_penalty_cycles += result.penalty
-                self.old_window.empty()
-
-        # -- branch prediction (lines 21–28) --
-        if instruction.is_branch and not entry.br_overlapped:
-            self.stats.branch_lookups += 1
-            correct = self.predictor.access(instruction)
-            if not correct:
-                self.stats.branch_mispredictions += 1
-                resolution = self._branch_resolution_time(instruction, latency)
-                penalty = int(round(resolution)) + self.core_config.frontend_pipeline_depth
-                self.sim_time += penalty
-                self.stats.branch_penalty_cycles += penalty
-                self.old_window.empty()
-
-        # -- loads and stores (lines 31–53) --
-        if instruction.is_store or (instruction.is_load and not entry.d_overlapped):
-            assert instruction.mem_addr is not None
-            result = self.hierarchy.data_access(
-                self.core_id,
-                instruction.mem_addr,
-                is_write=instruction.is_store,
-                now=self.sim_time,
-            )
-            self.stats.dcache_accesses += 1
-            if result.l1_miss:
-                self.stats.l1d_misses += 1
-            if result.tlb_miss:
-                self.stats.dtlb_misses += 1
-            if instruction.is_store:
-                self.stats.committed_stores += 1
-                # Stores retire through the store buffer; they do not stall
-                # dispatch in the interval model.
-            else:
-                self.stats.committed_loads += 1
-                if result.long_latency:
-                    self.stats.long_latency_loads += 1
-                    # Second-order effects: resolve independent miss events
-                    # hidden underneath the long-latency load.
-                    if self.model_overlap:
-                        self._scan_window_under_long_latency_load(instruction)
-                    self.sim_time += result.penalty
-                    self.stats.long_load_penalty_cycles += result.penalty
-                    self.old_window.empty()
-                else:
-                    # L1 miss served by the L2: fold the latency into the
-                    # instruction's execution latency so the critical path
-                    # (and hence the effective dispatch rate) reflects it.
-                    latency += result.penalty
-
-        # -- serializing instructions (lines 56–59) --
-        if instruction.is_serializing:
-            self.stats.serializing_instructions += 1
-            drain = int(round(self._window_drain_time()))
-            self.sim_time += drain
-            self.stats.serializing_penalty_cycles += drain
-            self.old_window.empty()
-
-        return latency
-
-    def _scan_window_under_long_latency_load(self, load: Instruction) -> None:
+    def _scan_under_long_latency_load(
+        self, head: int, tail: int, fetch_limit: int, now: int
+    ) -> None:
         """Scan the window for miss events overlapped by a long-latency load.
 
-        Implements Figure 3 lines 35–49.  Every instruction in the window is
-        fetched (I-cache/I-TLB access) underneath the load; independent
-        branches and loads are resolved underneath it as well and marked as
-        overlapped so they incur no penalty when they reach the window head.
-        The scan stops at a hidden branch misprediction (subsequent window
-        contents would be wrong-path) or at a serializing instruction.
+        Implements Figure 3 lines 35–49 over the implicit window
+        ``[head+1, tail)``.  Every instruction in the window is fetched
+        (I-cache/I-TLB access) underneath the load; independent branches and
+        loads are resolved underneath it as well and marked as overlapped so
+        they incur no penalty when they reach the window head.  The scan
+        stops at a hidden branch misprediction (subsequent window contents
+        would be wrong-path) or at a serializing instruction.
+
+        Positions below ``fetch_limit`` already performed their fetch through
+        the kernel's batched probe, so the scan only credits them as
+        overlapped fetches; beyond it, fetch-only segments are probed through
+        the hierarchy's batched
+        :meth:`~repro.memory.hierarchy.MemoryHierarchy.warm_block`.
         """
+        batch = self._batch
+        assert batch is not None
+        klass = batch.klass
+        pcs = batch.pc
+        addrs = batch.mem_addr
+        lines = batch.mem_line
+        srcs_col = batch.src_regs
+        dst_col = batch.dst_reg
+        instrs = batch.instructions
+        ovr = self._ovr
+        stats = self.stats
+        hierarchy = self.hierarchy
+        core_id = self.core_id
+        probe = hierarchy.instruction_probe
+        warm_block = hierarchy.warm_block
+        data_probe = hierarchy.data_probe
+        predictor_access = self.predictor.access
+
         tainted_registers: Set[int] = set()
         tainted_lines: Set[int] = set()
-        if load.dst_reg is not None:
-            tainted_registers.add(load.dst_reg)
+        dst = dst_col[head]
+        if dst is not None:
+            tainted_registers.add(dst)
 
-        for entry in self.window.entries_after_head():
-            instruction = entry.instruction
-            if instruction.is_sync:
+        position = head + 1
+        while position < tail:
+            k = klass[position]
+            if k == _SYNC:
                 break
 
-            # Line 36: the I-cache/I-TLB access happens underneath the load.
-            if not entry.i_overlapped:
-                entry.i_overlapped = True
-                self.hierarchy.instruction_access(
-                    self.core_id, instruction.pc, now=self.sim_time
-                )
-                self.stats.overlapped_icache_accesses += 1
+            if k != _LOAD and k != _BRANCH and k != _SERIALIZING:
+                # Segment of plain/store entries: their only hierarchy
+                # traffic is the fetch, so handle the I-side segment-at-a-
+                # time and then run the dependence bookkeeping.
+                end = position + 1
+                while end < tail:
+                    ke = klass[end]
+                    if ke == _LOAD or ke == _BRANCH or ke == _SERIALIZING or ke == _SYNC:
+                        break
+                    end += 1
+                if end > fetch_limit:
+                    # Entries past the verified-fetch run still need their
+                    # access performed (misses complete in place; the latency
+                    # hides under the load).
+                    warm_from = position if position > fetch_limit else fetch_limit
+                    warm_block(core_id, pcs, warm_from, end, now, ovr, _F_IOVR)
+                while position < end:
+                    fb = ovr[position]
+                    if not fb & _F_IOVR:
+                        ovr[position] = fb | _F_IOVR
+                        stats.overlapped_icache_accesses += 1
+                    dependent = False
+                    for register in srcs_col[position]:
+                        if register in tainted_registers:
+                            dependent = True
+                            break
+                    if dependent:
+                        dst = dst_col[position]
+                        if dst is not None:
+                            tainted_registers.add(dst)
+                        if klass[position] == _STORE:
+                            mem_line = lines[position]
+                            if mem_line is not None:
+                                tainted_lines.add(mem_line)
+                    position += 1
+                continue
 
-            dependent = self._depends_on_tainted(
-                instruction, tainted_registers, tainted_lines
-            )
+            # Load / branch / serializing entry: per-entry handling.
+            fb = ovr[position]
+            if not fb & _F_IOVR:
+                ovr[position] = fb = fb | _F_IOVR
+                if position >= fetch_limit:
+                    probe(core_id, pcs[position], now)
+                stats.overlapped_icache_accesses += 1
 
-            if instruction.is_branch and not dependent and not entry.br_overlapped:
-                entry.br_overlapped = True
-                self.stats.branch_lookups += 1
-                self.stats.overlapped_branches += 1
-                correct = self.predictor.access(instruction)
-                if not correct:
-                    # A hidden misprediction: later window contents are
-                    # wrong-path, stop scanning (line 40).
-                    self.stats.branch_mispredictions += 1
+            dependent = False
+            for register in srcs_col[position]:
+                if register in tainted_registers:
+                    dependent = True
                     break
+            if not dependent and k == _LOAD:
+                mem_line = lines[position]
+                if mem_line is not None and mem_line in tainted_lines:
+                    dependent = True
 
-            if instruction.is_load and not dependent and not entry.d_overlapped:
-                entry.d_overlapped = True
-                self.stats.overlapped_loads += 1
-                assert instruction.mem_addr is not None
-                result = self.hierarchy.data_access(
-                    self.core_id,
-                    instruction.mem_addr,
-                    is_write=False,
-                    now=self.sim_time,
-                )
-                self.stats.dcache_accesses += 1
-                if result.l1_miss:
-                    self.stats.l1d_misses += 1
-                if result.tlb_miss:
-                    self.stats.dtlb_misses += 1
-                if result.long_latency:
-                    # Memory-level parallelism: the independent long-latency
-                    # load overlaps with the one at the head, so it incurs no
-                    # additional penalty.
-                    self.stats.long_latency_loads += 1
-
-            if instruction.is_serializing:
-                break
+            if k == _BRANCH:
+                if not dependent and not fb & _F_BROVR:
+                    ovr[position] = fb | _F_BROVR
+                    stats.branch_lookups += 1
+                    stats.overlapped_branches += 1
+                    if not predictor_access(instrs[position]):
+                        # A hidden misprediction: later window contents are
+                        # wrong-path, stop scanning (line 40).
+                        stats.branch_mispredictions += 1
+                        return
+            elif k == _LOAD:
+                if not dependent and not fb & _F_DOVR:
+                    ovr[position] = fb | _F_DOVR
+                    stats.overlapped_loads += 1
+                    result = data_probe(core_id, addrs[position], False, now)
+                    stats.dcache_accesses += 1
+                    if result is not None:
+                        if result.l1_miss:
+                            stats.l1d_misses += 1
+                        if result.tlb_miss:
+                            stats.dtlb_misses += 1
+                        if result.long_latency:
+                            # Memory-level parallelism: the independent
+                            # long-latency load overlaps with the one at the
+                            # head, so it incurs no additional penalty.
+                            stats.long_latency_loads += 1
+            else:  # serializing: stop after its fetch
+                return
 
             if dependent:
-                if instruction.dst_reg is not None:
-                    tainted_registers.add(instruction.dst_reg)
-                if instruction.is_store and instruction.mem_addr is not None:
-                    tainted_lines.add(instruction.mem_addr >> 6)
-
-    @staticmethod
-    def _depends_on_tainted(
-        instruction: Instruction,
-        tainted_registers: Set[int],
-        tainted_lines: Set[int],
-    ) -> bool:
-        """Direct or transitive dependence on the long-latency load.
-
-        Taint propagates through destination registers and through memory via
-        stores to tainted cache lines, matching the paper's definition of
-        independence ("no direct or indirect dependences through registers or
-        memory").
-        """
-        for register in instruction.src_regs:
-            if register in tainted_registers:
-                return True
-        if (
-            instruction.is_load
-            and instruction.mem_addr is not None
-            and (instruction.mem_addr >> 6) in tainted_lines
-        ):
-            return True
-        return False
+                dst = dst_col[position]
+                if dst is not None:
+                    tainted_registers.add(dst)
+            position += 1
 
     # -- synchronization -----------------------------------------------------------
 
-    def _handle_sync(self, instruction: Instruction) -> bool:
+    def _handle_sync_kind(self, kind: int, sync_object: int) -> bool:
         """Interpret a synchronization pseudo-instruction.
 
         Returns ``True`` when the instruction completes (and may be
@@ -385,31 +694,32 @@ class IntervalCore(CoreModel):
         """
         if self.sync is None or self._thread_id is None:
             return True
-        kind = instruction.sync
-        if kind == SyncKind.BARRIER:
-            if self._waiting_barrier != instruction.sync_object:
-                self.sync.barrier_arrive(self._thread_id, instruction.sync_object)
-                self._waiting_barrier = instruction.sync_object
+        if kind == _SK_BARRIER:
+            if self._waiting_barrier != sync_object:
+                self.sync.barrier_arrive(self._thread_id, sync_object)
+                self._waiting_barrier = sync_object
                 self.stats.barrier_waits += 1
-            if self.sync.barrier_released(instruction.sync_object):
+            if self.sync.barrier_released(sync_object):
                 self._waiting_barrier = None
                 return True
             return False
-        if kind == SyncKind.LOCK_ACQUIRE:
-            acquired = self.sync.lock_try_acquire(
-                self._thread_id, instruction.sync_object
-            )
+        if kind == _SK_LOCK_ACQUIRE:
+            acquired = self.sync.lock_try_acquire(self._thread_id, sync_object)
             if acquired:
                 self.stats.lock_acquisitions += 1
                 return True
             self.stats.lock_contended += 1
             return False
-        if kind == SyncKind.LOCK_RELEASE:
+        if kind == _SK_LOCK_RELEASE:
             # Only release locks this thread actually holds; a mismatched
             # release can occur when functional warm-up skipped the matching
             # acquire and is simply ignored.
-            if self.sync.lock_holder(instruction.sync_object) == self._thread_id:
-                self.sync.lock_release(self._thread_id, instruction.sync_object)
+            if self.sync.lock_holder(sync_object) == self._thread_id:
+                self.sync.lock_release(self._thread_id, sync_object)
             return True
         # Other sync kinds (spawn/join) are treated as no-ops by the timing model.
         return True
+
+    def _handle_sync(self, instruction: Instruction) -> bool:
+        """Instruction-object wrapper around :meth:`_handle_sync_kind`."""
+        return self._handle_sync_kind(int(instruction.sync), instruction.sync_object)

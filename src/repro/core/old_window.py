@@ -21,30 +21,29 @@ its producers plus its own execution latency; the old window keeps a running
 *head time* and *tail time*, and the critical path is ``tail time − head
 time``.  The old window is emptied at every miss event to model the
 interval-length effect (short intervals → short dependence chains).
+
+This module keeps only the estimate formulas; the FIFO bookkeeping lives in
+:class:`~repro.core.window.BoundedWindow`.  Internally the window stores just
+the issue times (a float per instruction) — the estimates never look at
+anything else.  The operand-level entry points (:meth:`OldWindow.ready_time`,
+:meth:`OldWindow.insert_operands`) are the *reference formulation* of the
+estimator: the interval kernel inlines exactly these formulas against the
+window's internals for speed, and the golden-stats regression corpus pins the
+two formulations to bit-identical results — change them together.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional
 
 from ..common.isa import Instruction
+from ..trace.columnar import LINE_SHIFT
+from .window import BoundedWindow
 
-__all__ = ["OldWindowEntry", "OldWindow"]
-
-
-class OldWindowEntry:
-    """Bookkeeping for one instruction in the old window."""
-
-    __slots__ = ("instruction", "issue_time", "latency")
-
-    def __init__(self, instruction: Instruction, issue_time: float, latency: int) -> None:
-        self.instruction = instruction
-        self.issue_time = issue_time
-        self.latency = latency
+__all__ = ["OldWindow"]
 
 
-class OldWindow:
+class OldWindow(BoundedWindow):
     """Dataflow-based critical-path tracker for dispatched instructions.
 
     Parameters
@@ -58,13 +57,12 @@ class OldWindow:
     """
 
     def __init__(self, capacity: int, dispatch_width: int) -> None:
-        if capacity <= 0:
-            raise ValueError("old window capacity must be positive")
+        super().__init__(capacity)
         if dispatch_width <= 0:
             raise ValueError("dispatch width must be positive")
-        self.capacity = capacity
         self.dispatch_width = dispatch_width
-        self._entries: Deque[OldWindowEntry] = deque()
+        # ``_entries`` (from BoundedWindow) holds one issue time per retained
+        # instruction, oldest first.
         self._head_time = 0.0
         self._tail_time = 0.0
         # Producer tables: architectural register -> issue time of its last
@@ -73,9 +71,6 @@ class OldWindow:
         self._store_ready: Dict[int, float] = {}
 
     # -- properties ----------------------------------------------------------------
-
-    def __len__(self) -> int:
-        return len(self._entries)
 
     @property
     def head_time(self) -> float:
@@ -106,19 +101,36 @@ class OldWindow:
             return float(self.dispatch_width)
         return min(float(self.dispatch_width), window_size / critical_path)
 
-    def dependence_ready_time(self, instruction: Instruction) -> float:
-        """Earliest time the operands of ``instruction`` are available."""
+    def ready_time(
+        self, src_regs: Iterable[int], mem_line: Optional[int]
+    ) -> float:
+        """Earliest time the given operands are available.
+
+        ``mem_line`` is the :data:`~repro.trace.columnar.LINE_SHIFT`-aligned
+        line number of a load/store's effective address (``None`` for
+        non-memory instructions); it resolves dependences carried through
+        stores to the same line.
+        """
         ready = self._head_time
-        for register in instruction.src_regs:
-            producer_time = self._register_ready.get(register)
+        register_ready = self._register_ready
+        for register in src_regs:
+            producer_time = register_ready.get(register)
             if producer_time is not None and producer_time > ready:
                 ready = producer_time
-        if instruction.is_memory and instruction.mem_addr is not None:
-            line = instruction.mem_addr >> 6
-            store_time = self._store_ready.get(line)
+        if mem_line is not None:
+            store_time = self._store_ready.get(mem_line)
             if store_time is not None and store_time > ready:
                 ready = store_time
         return ready
+
+    def dependence_ready_time(self, instruction: Instruction) -> float:
+        """Earliest time the operands of ``instruction`` are available."""
+        mem_line = (
+            instruction.mem_addr >> LINE_SHIFT
+            if instruction.is_memory and instruction.mem_addr is not None
+            else None
+        )
+        return self.ready_time(instruction.src_regs, mem_line)
 
     def branch_resolution_time(self, branch: Instruction, branch_latency: int = 1) -> float:
         """Time to resolve a mispredicted branch.
@@ -144,22 +156,48 @@ class OldWindow:
         data-cache miss latency (but excluding long-latency misses, which are
         handled as separate miss events by the interval model).
         """
+        mem_line = (
+            instruction.mem_addr >> LINE_SHIFT
+            if instruction.is_memory and instruction.mem_addr is not None
+            else None
+        )
+        return self.insert_operands(
+            instruction.src_regs,
+            instruction.dst_reg,
+            mem_line,
+            instruction.is_store,
+            latency,
+        )
+
+    def insert_operands(
+        self,
+        src_regs: Iterable[int],
+        dst_reg: Optional[int],
+        mem_line: Optional[int],
+        is_store: bool,
+        latency: int,
+    ) -> float:
+        """Operand-level :meth:`insert` — the kernel's reference formulation.
+
+        :meth:`~repro.core.interval_core.IntervalCore.simulate_interval`
+        inlines this exact sequence (kept in lock-step by the golden-stats
+        regression corpus); edit both together.
+        """
         if latency < 0:
             raise ValueError("latency must be non-negative")
-        ready = self.dependence_ready_time(instruction)
+        ready = self.ready_time(src_regs, mem_line)
         issue_time = ready + latency
-        entry = OldWindowEntry(instruction, issue_time, latency)
-        self._entries.append(entry)
+        self._entries.append(issue_time)
 
         # New tail time: maximum of previous tail time and this issue time.
         if issue_time > self._tail_time:
             self._tail_time = issue_time
 
         # Update producer tables.
-        if instruction.dst_reg is not None:
-            self._register_ready[instruction.dst_reg] = issue_time
-        if instruction.is_store and instruction.mem_addr is not None:
-            self._store_ready[instruction.mem_addr >> 6] = issue_time
+        if dst_reg is not None:
+            self._register_ready[dst_reg] = issue_time
+        if is_store and mem_line is not None:
+            self._store_ready[mem_line] = issue_time
             if len(self._store_ready) > 4 * self.capacity:
                 self._trim_store_table()
 
@@ -168,9 +206,13 @@ class OldWindow:
         # previous head time and the issue time of the removed instruction").
         if len(self._entries) > self.capacity:
             removed = self._entries.popleft()
-            if removed.issue_time > self._head_time:
-                self._head_time = removed.issue_time
+            if removed > self._head_time:
+                self._head_time = removed
         return issue_time
+
+    def clear(self) -> None:
+        """Alias for :meth:`empty`: clearing must also reset the estimator state."""
+        self.empty()
 
     def empty(self) -> None:
         """Empty the old window (called at every miss event).

@@ -1,4 +1,4 @@
-"""The per-core instruction window of the interval simulator.
+"""Window structures of the interval simulator.
 
 "The simulator maintains a 'window' of instructions for each simulated core
 [...].  This window of instructions corresponds to the reorder buffer of a
@@ -8,10 +8,22 @@ instructions into this window at the window tail.  Core-level progress (i.e.,
 timing simulation) is derived by considering the instruction at the window
 head." (paper, Section 3.1)
 
-Each entry carries the instruction plus the three overlap flags of the
-pseudocode in Figure 3 (``I_overlapped``, ``br_overlapped``, ``D_overlapped``)
-which mark structure accesses already performed — and therefore already
-accounted for — underneath an earlier long-latency load.
+This module holds *all* the window bookkeeping shared by the interval model:
+
+* :class:`BoundedWindow` — the capacity-bounded FIFO plumbing common to the
+  instruction window and the old window (Section 3.2), so the two structures
+  share one implementation of their deque mechanics;
+* :class:`WindowEntry` / :class:`InstructionWindow` — the ROB-analogue window
+  with the three overlap flags of the Figure-3 pseudocode (``I_overlapped``,
+  ``br_overlapped``, ``D_overlapped``); the old window
+  (:mod:`repro.core.old_window`) keeps only its estimate formulas on the same
+  bounded-FIFO base.
+
+The interval kernel itself (:mod:`repro.core.interval_core`) tracks the
+window *implicitly* as a sliding index range over the columnar trace batch
+with a flag byte per instruction; :class:`InstructionWindow` remains the
+explicit reference structure that documents (and tests) the semantics the
+implicit representation must match.
 """
 
 from __future__ import annotations
@@ -21,7 +33,42 @@ from typing import Deque, Iterator, Optional
 
 from ..common.isa import Instruction
 
-__all__ = ["WindowEntry", "InstructionWindow"]
+__all__ = ["BoundedWindow", "WindowEntry", "InstructionWindow"]
+
+
+class BoundedWindow:
+    """Capacity-bounded FIFO bookkeeping shared by the interval windows.
+
+    Both the instruction window and the old window are bounded FIFOs whose
+    capacity equals the reorder-buffer size of the modeled core; this base
+    class owns the deque plumbing so each subclass adds only its semantics.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("window capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """``True`` when no more entries can be inserted at the tail."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the window holds no entries."""
+        return not self._entries
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._entries.clear()
 
 
 class WindowEntry:
@@ -47,35 +94,13 @@ class WindowEntry:
         return f"WindowEntry({self.instruction!r}, overlaps={flags})"
 
 
-class InstructionWindow:
+class InstructionWindow(BoundedWindow):
     """A bounded FIFO of in-flight instructions (the ROB analogue).
 
     The window is filled at the tail from the functional instruction stream
     and drained at the head by the interval model.  Its capacity equals the
     reorder-buffer size of the modeled core.
     """
-
-    def __init__(self, capacity: int) -> None:
-        if capacity <= 0:
-            raise ValueError("window capacity must be positive")
-        self.capacity = capacity
-        self._entries: Deque[WindowEntry] = deque()
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __iter__(self) -> Iterator[WindowEntry]:
-        return iter(self._entries)
-
-    @property
-    def is_full(self) -> bool:
-        """``True`` when no more instructions can enter at the tail."""
-        return len(self._entries) >= self.capacity
-
-    @property
-    def is_empty(self) -> bool:
-        """``True`` when the window holds no instructions."""
-        return not self._entries
 
     def head(self) -> Optional[WindowEntry]:
         """The entry at the window head (next to be handled), or ``None``."""
@@ -107,7 +132,3 @@ class InstructionWindow:
         iterator = iter(self._entries)
         next(iterator, None)  # skip the head
         return iterator
-
-    def clear(self) -> None:
-        """Remove every entry (used when a core finishes its trace)."""
-        self._entries.clear()

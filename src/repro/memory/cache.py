@@ -52,9 +52,13 @@ class CoherenceState(enum.IntEnum):
         return self in (CoherenceState.MODIFIED, CoherenceState.OWNED)
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
-    """One cache line: address tag plus MOESI state."""
+    """One cache line: address tag plus MOESI state.
+
+    ``CoherenceState.INVALID`` is zero, so hot paths test validity with the
+    state's truthiness instead of the :attr:`valid` property chain.
+    """
 
     tag: int
     state: CoherenceState = CoherenceState.EXCLUSIVE
@@ -114,7 +118,9 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         self._offset_bits = config.line_size.bit_length() - 1
         self._num_sets = config.num_sets
-        self._sets: List[List[CacheLine]] = [[] for _ in range(self._num_sets)]
+        # Per-set line lists, allocated lazily on first fill: a shared L2 has
+        # thousands of sets, most never touched in short simulations.
+        self._sets: List[Optional[List[CacheLine]]] = [None] * self._num_sets
 
     # -- address helpers ---------------------------------------------------------
 
@@ -131,10 +137,14 @@ class SetAssociativeCache:
 
     def probe(self, address: int) -> Optional[CacheLine]:
         """Look up a line without updating LRU order or statistics."""
-        index, tag = self._index_tag(address)
-        for line in self._sets[index]:
-            if line.tag == tag and line.valid:
-                return line
+        block = address >> self._offset_bits
+        tag = block // self._num_sets
+        entry_set = self._sets[block % self._num_sets]
+        if entry_set:
+            # Scan MRU-first (sets keep MRU last): hits cluster at the hot end.
+            for line in reversed(entry_set):
+                if line.tag == tag and line.state:
+                    return line
         return None
 
     def lookup(self, address: int, count_access: bool = True) -> Optional[CacheLine]:
@@ -142,14 +152,23 @@ class SetAssociativeCache:
 
         Returns the :class:`CacheLine` on a hit, or ``None`` on a miss.
         """
-        index, tag = self._index_tag(address)
-        entry_set = self._sets[index]
+        block = address >> self._offset_bits
+        tag = block // self._num_sets
+        entry_set = self._sets[block % self._num_sets]
         if count_access:
             self.stats.accesses += 1
-        for position, line in enumerate(entry_set):
-            if line.tag == tag and line.valid:
-                entry_set.append(entry_set.pop(position))
-                return line
+        if entry_set:
+            # Scan MRU-first (sets keep MRU last): hits cluster at the hot end.
+            position = len(entry_set) - 1
+            last = position
+            while position >= 0:
+                line = entry_set[position]
+                if line.tag == tag and line.state:
+                    # Move to MRU (a no-op when the line already is MRU).
+                    if position != last:
+                        entry_set.append(entry_set.pop(position))
+                    return line
+                position -= 1
         if count_access:
             self.stats.misses += 1
         return None
@@ -162,25 +181,31 @@ class SetAssociativeCache:
         The evicted line is returned so the caller can issue a write-back when
         it is dirty (Modified/Owned).
         """
-        index, tag = self._index_tag(address)
+        block = address >> self._offset_bits
+        tag = block // self._num_sets
+        index = block % self._num_sets
         entry_set = self._sets[index]
+        if entry_set is None:
+            entry_set = self._sets[index] = []
         for position, line in enumerate(entry_set):
             if line.tag == tag:
                 # Refill of an existing (possibly invalid) line.
                 line.state = state
-                entry_set.append(entry_set.pop(position))
+                if position != len(entry_set) - 1:
+                    entry_set.append(entry_set.pop(position))
                 return None
         victim: Optional[CacheLine] = None
         if len(entry_set) >= self.config.associativity:
             # Prefer evicting an invalid line.
             for position, line in enumerate(entry_set):
-                if not line.valid:
+                if not line.state:
                     entry_set.pop(position)
                     break
             else:
                 victim = entry_set.pop(0)
                 self.stats.evictions += 1
-                if victim.state.is_dirty:
+                # Dirty (Modified/Owned) states sort above the clean ones.
+                if victim.state >= CoherenceState.OWNED:
                     self.stats.writebacks += 1
         entry_set.append(CacheLine(tag=tag, state=state))
         return victim
@@ -221,6 +246,8 @@ class SetAssociativeCache:
     def resident_lines(self) -> Iterator[Tuple[int, CacheLine]]:
         """Yield (set index, line) for every valid resident line."""
         for index, entry_set in enumerate(self._sets):
+            if not entry_set:
+                continue
             for line in entry_set:
                 if line.valid:
                     yield index, line
@@ -232,7 +259,7 @@ class SetAssociativeCache:
 
     def flush(self) -> None:
         """Invalidate the entire cache (statistics are kept)."""
-        self._sets = [[] for _ in range(self._num_sets)]
+        self._sets = [None] * self._num_sets
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

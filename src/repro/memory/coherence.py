@@ -23,7 +23,7 @@ from .cache import CoherenceState, SetAssociativeCache
 __all__ = ["SnoopResult", "CoherenceStats", "CoherenceController"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SnoopResult:
     """Outcome of a coherence request.
 
@@ -70,6 +70,11 @@ class CoherenceStats:
         self.writebacks = 0
 
 
+#: Shared immutable "no remote sharers" snoop outcome (see
+#: CoherenceController._trivial).  Callers only read SnoopResult fields.
+_NO_SNOOP = SnoopResult()
+
+
 class CoherenceController:
     """Snooping-bus MOESI/MESI/MSI coherence controller for the private L1Ds."""
 
@@ -83,6 +88,10 @@ class CoherenceController:
         self._caches: List[SetAssociativeCache] = list(l1d_caches)
         self.protocol = protocol
         self.stats = CoherenceStats()
+        # With a single cache (or no protocol) every snoop trivially finds no
+        # remote sharers; requests then return a shared, never-mutated result
+        # instead of allocating one per miss.
+        self._trivial = len(self._caches) <= 1 or protocol == "NONE"
 
     @property
     def num_cores(self) -> int:
@@ -102,9 +111,9 @@ class CoherenceController:
         (:meth:`requester_read_state`).
         """
         self.stats.read_requests += 1
+        if self._trivial:
+            return _NO_SNOOP
         result = SnoopResult()
-        if self.protocol == "NONE":
-            return result
         for remote_id, cache in enumerate(self._caches):
             if remote_id == core_id:
                 continue
@@ -146,9 +155,9 @@ class CoherenceController:
         self.stats.write_requests += 1
         if already_resident:
             self.stats.upgrades += 1
+        if self._trivial:
+            return _NO_SNOOP
         result = SnoopResult()
-        if self.protocol == "NONE":
-            return result
         for remote_id, cache in enumerate(self._caches):
             if remote_id == core_id:
                 continue

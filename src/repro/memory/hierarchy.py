@@ -15,12 +15,19 @@ Every access returns an :class:`AccessResult` describing which structures
 missed and the resulting penalty; the timing models decide what to do with
 the penalty (interval analysis adds it to the per-core simulated time, the
 detailed model schedules the instruction's completion accordingly).
+
+For the interval-at-a-time kernel the hierarchy additionally exposes batched
+probes (:meth:`MemoryHierarchy.instruction_probe`,
+:meth:`MemoryHierarchy.access_block`, :meth:`MemoryHierarchy.warm_block`)
+whose observable effects are instruction-for-instruction identical to the
+per-access API but whose dispatch overhead is paid per miss *event* rather
+than per instruction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..common.config import MachineConfig, MemoryConfig, PerfectStructures
 from .cache import CoherenceState, SetAssociativeCache
@@ -35,7 +42,7 @@ __all__ = ["AccessResult", "MemoryHierarchy"]
 _CACHE_TO_CACHE_OVERHEAD = 8
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one instruction- or data-side memory access.
 
@@ -124,6 +131,31 @@ class MemoryHierarchy:
         self.coherence = CoherenceController(self.l1d, memory.coherence_protocol)
         self.dram = MainMemory(memory, line_size=memory.l1d.line_size)
 
+        # Hot-path constants, hoisted out of the per-access attribute chains.
+        self._perfect_itlb = perfect.itlb
+        self._perfect_l1i = perfect.l1i
+        self._perfect_dtlb = perfect.dtlb
+        self._perfect_l1d = perfect.l1d
+        self._perfect_l2 = perfect.l2
+        self._l1i_hit_latency = memory.l1i.hit_latency
+        self._l1d_hit_latency = memory.l1d.hit_latency
+        self._itlb_miss_latency = memory.itlb.miss_latency
+        self._dtlb_miss_latency = memory.dtlb.miss_latency
+        self._l2_hit_latency = memory.l2.hit_latency if memory.l2 is not None else 0
+        self._l1d_offset_bits = memory.l1d.line_size.bit_length() - 1
+
+        # Fetch fast-path state (see instruction_probe): per-core memo of the
+        # most recently fetched (I-cache line, I-TLB page).  A repeat fetch of
+        # the same line+page is by construction a hit on the MRU way of both
+        # structures, so the probe reduces to two counter increments.  The
+        # memo is maintained exclusively by the I-side methods below; callers
+        # that mutate ``l1i``/``itlb`` behind the hierarchy's back (e.g. a
+        # manual ``flush()``) must call :meth:`reset_fetch_memo`.
+        self._l1i_offset_bits = memory.l1i.line_size.bit_length() - 1
+        self._itlb_page_shift = memory.itlb.page_size.bit_length() - 1
+        self._fetch_memo_block: List[int] = [-1] * num_cores
+        self._fetch_memo_page: List[int] = [-1] * num_cores
+
     @property
     def num_cores(self) -> int:
         """Number of cores the hierarchy serves."""
@@ -138,27 +170,227 @@ class MemoryHierarchy:
         misses are served by the shared L2 and, beyond it, main memory.
         """
         self._check_core(core_id)
-        memory = self.config.memory
-        result = AccessResult(hit_latency=memory.l1i.hit_latency)
+        result = self.instruction_probe(core_id, pc, now)
+        if result is None:
+            return AccessResult(hit_latency=self.config.memory.l1i.hit_latency)
+        return result
 
-        if not self._perfect.itlb:
-            if not self.itlb[core_id].access(pc):
-                result.tlb_miss = True
-                result.penalty += memory.itlb.miss_latency
+    def instruction_probe(
+        self, core_id: int, pc: int, now: int = 0
+    ) -> Optional[AccessResult]:
+        """Allocation-free fetch: ``None`` on a full hit, the miss otherwise.
 
-        if self._perfect.l1i:
+        Identical in every observable effect (structure state, LRU order,
+        statistics, DRAM bus reservations) to :meth:`instruction_access`, but
+        the overwhelmingly common full-hit outcome materializes no
+        :class:`AccessResult`.  Timing models that only need to know whether
+        a fetch produced a miss event call this directly on the hot path.
+
+        Assumes a valid ``core_id`` (the public :meth:`instruction_access`
+        wrapper validates it).
+        """
+        perfect_itlb = self._perfect_itlb
+        perfect_l1i = self._perfect_l1i
+
+        if not perfect_itlb and not perfect_l1i:
+            # Full model: memoized fast path for a repeat fetch of the MRU
+            # line and page — two hits whose LRU updates are no-ops.
+            block = pc >> self._l1i_offset_bits
+            page = pc >> self._itlb_page_shift
+            if (
+                block == self._fetch_memo_block[core_id]
+                and page == self._fetch_memo_page[core_id]
+            ):
+                self.itlb[core_id].stats.accesses += 1
+                self.l1i[core_id].stats.accesses += 1
+                return None
+
+        tlb_missed = False
+        if not perfect_itlb:
+            tlb_missed = not self.itlb[core_id].access(pc)
+
+        if perfect_l1i:
+            if not tlb_missed:
+                return None
+            result = AccessResult(hit_latency=self._l1i_hit_latency)
+            result.tlb_miss = True
+            result.penalty = self._itlb_miss_latency
             return result
 
         cache = self.l1i[core_id]
         if cache.lookup(pc) is not None:
+            if not perfect_itlb:
+                # Both structures now hold pc's line/page as MRU (the TLB
+                # fills on a miss), so the memo is valid either way.
+                self._fetch_memo_block[core_id] = pc >> self._l1i_offset_bits
+                self._fetch_memo_page[core_id] = pc >> self._itlb_page_shift
+            if not tlb_missed:
+                return None
+            result = AccessResult(hit_latency=self._l1i_hit_latency)
+            result.tlb_miss = True
+            result.penalty = self._itlb_miss_latency
             return result
 
+        result = AccessResult(hit_latency=self._l1i_hit_latency)
+        if tlb_missed:
+            result.tlb_miss = True
+            result.penalty = self._itlb_miss_latency
         result.l1_miss = True
         result.penalty += self._fill_from_shared_levels(
             core_id, pc, now, result, is_instruction=True
         )
         cache.fill(pc, CoherenceState.EXCLUSIVE)
+        if not perfect_itlb:
+            self._fetch_memo_block[core_id] = pc >> self._l1i_offset_bits
+            self._fetch_memo_page[core_id] = pc >> self._itlb_page_shift
         return result
+
+    def access_block(
+        self,
+        core_id: int,
+        addresses: Sequence[int],
+        start: int = 0,
+        stop: Optional[int] = None,
+        flags: Optional[bytearray] = None,
+        flag_mask: int = 0,
+    ) -> int:
+        """Batched fetch probe: commit hits in order, stop at the miss event.
+
+        Performs the instruction-side hit path for ``addresses[start:stop]``
+        in order and returns the index of the first access that would miss in
+        the I-TLB or the L1 I-cache — the next miss event — *without touching
+        any structure for that access* (the caller charges it through
+        :meth:`instruction_probe` at the correct simulated time).  Returns
+        ``stop`` when every access hits.  Entries whose ``flags`` byte
+        intersects ``flag_mask`` are skipped entirely (the interval kernel
+        uses this for fetches already performed underneath an earlier
+        long-latency load).
+
+        Per-call dispatch overhead is paid once per *block* instead of once
+        per instruction, which is what lets the interval kernel charge a whole
+        inter-miss interval in one step.
+        """
+        if stop is None:
+            stop = len(addresses)
+        check_tlb = not self._perfect_itlb
+        check_l1 = not self._perfect_l1i
+        if not check_tlb and not check_l1:
+            return stop
+
+        tlb = self.itlb[core_id]
+        cache = self.l1i[core_id]
+        tlb_stats = tlb.stats
+        cache_stats = cache.stats
+        memo_block = self._fetch_memo_block
+        memo_page = self._fetch_memo_page
+        offset_bits = self._l1i_offset_bits
+        page_shift = self._itlb_page_shift
+
+        index = start
+        if check_tlb and check_l1:
+            last_block = memo_block[core_id]
+            last_page = memo_page[core_id]
+            while index < stop:
+                if flags is not None and flags[index] & flag_mask:
+                    index += 1
+                    continue
+                pc = addresses[index]
+                block = pc >> offset_bits
+                page = pc >> page_shift
+                if block == last_block and page == last_page:
+                    tlb_stats.accesses += 1
+                    cache_stats.accesses += 1
+                    index += 1
+                    continue
+                # Transition to a new line/page: peek both structures first so
+                # a would-miss access leaves no trace for the caller to redo.
+                if not tlb.probe(pc) or cache.probe(pc) is None:
+                    break
+                tlb.access(pc)
+                cache.lookup(pc)
+                last_block = block
+                last_page = page
+                index += 1
+            memo_block[core_id] = last_block
+            memo_page[core_id] = last_page
+            return index
+
+        # Idealization studies (perfect L1i or perfect I-TLB): only one
+        # structure is live, no memo.
+        while index < stop:
+            if flags is not None and flags[index] & flag_mask:
+                index += 1
+                continue
+            pc = addresses[index]
+            if check_tlb:
+                if not tlb.probe(pc):
+                    break
+                tlb.access(pc)
+            if check_l1:
+                if cache.probe(pc) is None:
+                    break
+                cache.lookup(pc)
+            index += 1
+        return index
+
+    def warm_block(
+        self,
+        core_id: int,
+        addresses: Sequence[int],
+        start: int = 0,
+        stop: Optional[int] = None,
+        now: int = 0,
+        flags: Optional[bytearray] = None,
+        flag_mask: int = 0,
+    ) -> int:
+        """Batched fetch that *completes* misses; returns accesses performed.
+
+        Like :meth:`access_block` but misses are serviced in place (fill from
+        the shared levels at time ``now``) instead of stopping the block —
+        the access pattern functional warm-up and the overlap scan need,
+        where the miss latency is not charged to anyone.  Entries whose
+        ``flags`` byte intersects ``flag_mask`` are skipped.
+        """
+        if stop is None:
+            stop = len(addresses)
+        probe = self.instruction_probe
+        performed = 0
+        full_model = not self._perfect_itlb and not self._perfect_l1i
+        if full_model:
+            # Inline the MRU line/page memo so repeat fetches cost only the
+            # counter updates (the dominant case inside a warmed block).
+            tlb_stats = self.itlb[core_id].stats
+            cache_stats = self.l1i[core_id].stats
+            memo_block = self._fetch_memo_block
+            memo_page = self._fetch_memo_page
+            offset_bits = self._l1i_offset_bits
+            page_shift = self._itlb_page_shift
+            for index in range(start, stop):
+                if flags is not None and flags[index] & flag_mask:
+                    continue
+                pc = addresses[index]
+                if (
+                    pc >> offset_bits == memo_block[core_id]
+                    and pc >> page_shift == memo_page[core_id]
+                ):
+                    tlb_stats.accesses += 1
+                    cache_stats.accesses += 1
+                else:
+                    probe(core_id, pc, now)
+                performed += 1
+            return performed
+        for index in range(start, stop):
+            if flags is not None and flags[index] & flag_mask:
+                continue
+            probe(core_id, addresses[index], now)
+            performed += 1
+        return performed
+
+    def reset_fetch_memo(self) -> None:
+        """Invalidate the fetch fast-path memo (after external L1i/I-TLB edits)."""
+        num_cores = self.num_cores
+        self._fetch_memo_block = [-1] * num_cores
+        self._fetch_memo_page = [-1] * num_cores
 
     # -- data side ----------------------------------------------------------------
 
@@ -173,22 +405,40 @@ class MemoryHierarchy:
         long-latency event by the timing models).
         """
         self._check_core(core_id)
-        memory = self.config.memory
-        result = AccessResult(hit_latency=memory.l1d.hit_latency)
+        result = self.data_probe(core_id, address, is_write, now)
+        if result is None:
+            return AccessResult(hit_latency=self.config.memory.l1d.hit_latency)
+        return result
 
-        if not self._perfect.dtlb:
-            if not self.dtlb[core_id].access(address):
-                result.tlb_miss = True
-                result.penalty += memory.dtlb.miss_latency
+    def data_probe(
+        self, core_id: int, address: int, is_write: bool, now: int = 0
+    ) -> Optional[AccessResult]:
+        """Allocation-free data access: ``None`` on a penalty-free hit.
 
-        if self._perfect.l1d:
+        Identical in every observable effect (cache/TLB/coherence state, LRU
+        order, statistics, DRAM bus reservations) to :meth:`data_access`, but
+        the common hit-without-penalty outcome materializes no
+        :class:`AccessResult`.  Assumes a valid ``core_id``.
+        """
+        tlb_missed = False
+        if not self._perfect_dtlb:
+            tlb_missed = not self.dtlb[core_id].access(address)
+
+        if self._perfect_l1d:
+            if not tlb_missed:
+                return None
+            result = AccessResult(hit_latency=self._l1d_hit_latency)
+            result.tlb_miss = True
+            result.penalty = self._dtlb_miss_latency
             return result
 
         cache = self.l1d[core_id]
-        line_address = cache.line_address(address)
+        offset_bits = self._l1d_offset_bits
+        line_address = address >> offset_bits << offset_bits
         line = cache.lookup(line_address)
 
         if line is not None:
+            upgrade_penalty = 0
             if is_write and line.state in (
                 CoherenceState.SHARED,
                 CoherenceState.OWNED,
@@ -198,13 +448,24 @@ class MemoryHierarchy:
                     core_id, line_address, already_resident=True
                 )
                 if snoop.invalidations:
-                    result.penalty += _CACHE_TO_CACHE_OVERHEAD
+                    upgrade_penalty = _CACHE_TO_CACHE_OVERHEAD
                 line.state = CoherenceState.MODIFIED
             elif is_write and line.state == CoherenceState.EXCLUSIVE:
                 line.state = CoherenceState.MODIFIED
+            if not tlb_missed and upgrade_penalty == 0:
+                return None
+            result = AccessResult(hit_latency=self._l1d_hit_latency)
+            if tlb_missed:
+                result.tlb_miss = True
+                result.penalty = self._dtlb_miss_latency
+            result.penalty += upgrade_penalty
             return result
 
         # L1 miss: consult the coherence protocol first.
+        result = AccessResult(hit_latency=self._l1d_hit_latency)
+        if tlb_missed:
+            result.tlb_miss = True
+            result.penalty = self._dtlb_miss_latency
         result.l1_miss = True
         if is_write:
             snoop = self.coherence.write_request(
@@ -218,15 +479,15 @@ class MemoryHierarchy:
         if snoop.supplied_by_cache:
             # Cache-to-cache transfer across the on-chip interconnect.
             result.coherence_miss = True
-            l2_latency = memory.l2.hit_latency if memory.l2 is not None else 0
-            result.penalty += l2_latency + _CACHE_TO_CACHE_OVERHEAD
+            result.penalty += self._l2_hit_latency + _CACHE_TO_CACHE_OVERHEAD
         else:
             result.penalty += self._fill_from_shared_levels(
                 core_id, line_address, now, result, is_instruction=False
             )
 
         victim = cache.fill(line_address, install_state)
-        if victim is not None and victim.state.is_dirty:
+        # Dirty (Modified/Owned) states sort above the clean ones.
+        if victim is not None and victim.state >= CoherenceState.OWNED:
             self.coherence.evict_notification(victim.state)
         return result
 
@@ -246,19 +507,18 @@ class MemoryHierarchy:
         ``result.l2_miss``.  Honors the "perfect L2" idealization flag by
         charging only the L2 hit latency and never going off-chip.
         """
-        memory = self.config.memory
-        if self._perfect.l2:
-            return memory.l2.hit_latency if memory.l2 is not None else 0
+        if self._perfect_l2:
+            return self._l2_hit_latency
 
-        if self.l2 is not None:
-            l2_hit = self.l2.lookup(line_address) is not None
-            if l2_hit:
-                return memory.l2.hit_latency
+        l2 = self.l2
+        if l2 is not None:
+            if l2.lookup(line_address) is not None:
+                return self._l2_hit_latency
             # L2 miss: go off-chip, then fill the L2.
             result.l2_miss = True
             dram_latency = self.dram.access(now)
-            self.l2.fill(line_address, CoherenceState.EXCLUSIVE)
-            return memory.l2.hit_latency + dram_latency
+            l2.fill(line_address, CoherenceState.EXCLUSIVE)
+            return self._l2_hit_latency + dram_latency
 
         # No L2 (Figure-8 3D-stacked configuration): straight to DRAM.
         result.l2_miss = True

@@ -65,13 +65,20 @@ class TLB:
         A miss installs the translation (the page walk itself is charged by
         the memory hierarchy as ``config.miss_latency`` cycles).
         """
-        index, tag = self._index_tag(address)
-        entry_set = self._sets[index]
+        page = address >> self._page_shift
+        tag = page // self._num_sets
+        entry_set = self._sets[page % self._num_sets]
         self.stats.accesses += 1
-        for position, entry in enumerate(entry_set):
-            if entry == tag:
-                entry_set.append(entry_set.pop(position))
+        # Scan MRU-first (sets keep MRU last): hits cluster at the hot end.
+        position = len(entry_set) - 1
+        last = position
+        while position >= 0:
+            if entry_set[position] == tag:
+                # Move to MRU (a no-op when the entry already is MRU).
+                if position != last:
+                    entry_set.append(entry_set.pop(position))
                 return True
+            position -= 1
         self.stats.misses += 1
         entry_set.append(tag)
         if len(entry_set) > self.config.associativity:

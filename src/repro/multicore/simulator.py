@@ -17,17 +17,23 @@ detailed, one-IPC) only provide their per-core model by implementing
 from __future__ import annotations
 
 import abc
+import heapq
 from typing import List, Optional, Sequence
 
 from ..branch import BranchPredictor, create_branch_predictor
 from ..common.config import MachineConfig
-from ..common.isa import SyncKind
+from ..common.isa import InstructionClass, SyncKind
 from ..common.stats import CoreStats, SimulationStats, Stopwatch
 from ..memory.hierarchy import MemoryHierarchy
+from ..trace.columnar import FLAG_NO_FETCH
 from ..trace.stream import TraceCursor, Workload
 from .sync import SynchronizationManager
 
 __all__ = ["CoreModel", "MulticoreSimulator"]
+
+#: Sentinel upper bound for a core that can run to completion uninterrupted
+#: (compares greater than any integer simulated time).
+_UNBOUNDED = float("inf")
 
 
 class CoreModel(abc.ABC):
@@ -60,6 +66,29 @@ class CoreModel(abc.ABC):
         miss penalty or by the end-of-cycle increment), or set
         :attr:`finished` when the bound trace is exhausted.
         """
+
+    def simulate_interval(self, run_until: int) -> None:
+        """Simulate this core until its time reaches ``run_until`` (or it
+        finishes).
+
+        The event-heap driver hands every core the longest span it can run
+        without another core needing to interleave; simulating the whole span
+        in one call removes the per-cycle driver round trip.  The default
+        implementation steps :meth:`simulate_cycle` at the core's own time
+        repeatedly — exactly the call sequence the per-cycle driver would
+        have produced for a core that is the unique earliest — so any
+        :class:`CoreModel` batches correctly.  Models with an interval-level
+        kernel (:class:`~repro.core.interval_core.IntervalCore`) override
+        this with a columnar implementation.
+        """
+        while not self.finished and self.sim_time < run_until:
+            before = self.sim_time
+            self.simulate_cycle(before)
+            if self.sim_time == before and not self.finished:
+                raise RuntimeError(
+                    f"core {self.core_id} made no progress at cycle {before}; "
+                    "simulate_cycle must advance sim_time or finish"
+                )
 
     @property
     def has_thread(self) -> bool:
@@ -164,27 +193,47 @@ class MulticoreSimulator(abc.ABC):
 
         stopwatch = Stopwatch()
         stopwatch.start()
-        multi_core_time = 0
-        while True:
-            unfinished = [core for core in active if not core.finished]
-            if not unfinished:
-                break
-            if max_cycles is not None and multi_core_time > max_cycles:
+        # Event-heap driver: the queue holds (per-core time, core id, core)
+        # for every unfinished core, so each global step pops the earliest
+        # core in O(log cores) instead of rebuilding O(cores) lists.  Ties
+        # pop in core-id order, matching the per-cycle driver's iteration
+        # order, and a tied core runs exactly one event step; a core that is
+        # the *unique* earliest runs uninterrupted until the next core's
+        # time, which is where the interval kernel consumes whole intervals
+        # per call.
+        event_queue = [
+            (core.sim_time, core.core_id, core)
+            for core in active
+            if not core.finished
+        ]
+        heapq.heapify(event_queue)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        time_cap = None if max_cycles is None else max_cycles + 1
+        while event_queue:
+            core_time, core_id, core = heappop(event_queue)
+            if max_cycles is not None and core_time > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles "
                     f"(possible deadlock in {workload.name!r})"
                 )
-            for core in unfinished:
-                if core.sim_time == multi_core_time:
-                    core.simulate_cycle(multi_core_time)
-            # Event-driven advance: jump to the earliest per-core time.  Cores
-            # that just simulated are now strictly ahead of multi_core_time,
-            # so the global time always makes progress.
-            next_times = [core.sim_time for core in active if not core.finished]
-            if not next_times:
-                break
-            next_time = min(next_times)
-            multi_core_time = max(multi_core_time + 1, next_time)
+            if event_queue:
+                run_until = event_queue[0][0]
+                if time_cap is not None and run_until > time_cap:
+                    run_until = time_cap
+                if run_until <= core_time:
+                    run_until = core_time + 1
+            else:
+                # Last unfinished core: run to completion (or the time cap).
+                run_until = time_cap if time_cap is not None else _UNBOUNDED
+
+            core.simulate_interval(run_until)
+            if not core.finished:
+                if core.sim_time <= core_time:
+                    raise RuntimeError(
+                        f"core {core_id} made no progress at cycle {core_time}"
+                    )
+                heappush(event_queue, (core.sim_time, core_id, core))
         wall_clock = stopwatch.stop()
 
         # Finalize per-core cycle counts for cores that never recorded them.
@@ -227,45 +276,81 @@ class MulticoreSimulator(abc.ABC):
         not wait forever for peers that already passed it during warm-up.
         Lock operations are not replayed — critical sections skipped by
         warm-up have no lasting effect on the timed region.
+
+        The replay runs on the columnar trace batch.  Fetch warming goes
+        through the hierarchy's batched
+        :meth:`~repro.memory.hierarchy.MemoryHierarchy.access_block`: one
+        call commits the fetch hit path up to the next I-side *miss*, which
+        is completed in place when its instruction's turn comes (fetch hits
+        touch only the core's private L1i/I-TLB, so committing them early
+        preserves every structure's access order against the individually
+        replayed data accesses, which do contend for the shared L2 and the
+        DRAM bus).
         """
         assert workload.core_assignment is not None
         chunk = 256
+        barrier_kind = int(SyncKind.BARRIER)
+        sync_code = int(InstructionClass.SYNC)
+        load_code = int(InstructionClass.LOAD)
+        store_code = int(InstructionClass.STORE)
+        branch_code = int(InstructionClass.BRANCH)
         # Never let warm-up consume more than half of a thread's trace: the
         # timed region must retain a meaningful instruction count even when
         # the workload splits its work across many short per-thread traces.
         remaining = [
             min(warmup_instructions, cursor.remaining // 2) for cursor in cursors
         ]
+        # Exclusive end of each thread's verified-fetch run (carried across
+        # round-robin chunks; fetch hits stay valid because nothing evicts a
+        # private I-side line except this core's own fetch misses).
+        fetch_done = [cursor.position for cursor in cursors]
         while any(count > 0 for count in remaining):
             for index, cursor in enumerate(cursors):
                 if remaining[index] <= 0:
                     continue
                 core_id = workload.core_assignment[index]
                 predictor = predictors[core_id]
-                for _ in range(min(chunk, remaining[index])):
-                    instruction = cursor.next()
-                    if instruction is None:
-                        remaining[index] = 0
-                        break
-                    if instruction.is_sync:
-                        if (
-                            sync is not None
-                            and instruction.sync == SyncKind.BARRIER
-                        ):
-                            sync.barrier_arrive(
-                                instruction.thread_id, instruction.sync_object
-                            )
+                batch = cursor.trace.batch()
+                klass = batch.klass
+                pcs = batch.pc
+                addrs = batch.mem_addr
+                sync_kinds = batch.sync_kind
+                sync_objects = batch.sync_object
+                instructions = batch.instructions
+                skip_sync = batch.fetch_skip_template
+                thread_id = cursor.trace.thread_id
+                position = cursor.position
+                fetch_limit = fetch_done[index]
+                stop = min(position + min(chunk, remaining[index]), batch.length)
+                while position < stop:
+                    k = klass[position]
+                    if k == sync_code:
+                        # Sync pseudo-ops touch no cache; register barrier
+                        # arrivals so warmed-ahead threads cannot deadlock
+                        # the timed region.
+                        if sync is not None and sync_kinds[position] == barrier_kind:
+                            sync.barrier_arrive(thread_id, sync_objects[position])
+                        position += 1
                         continue
-                    hierarchy.instruction_access(core_id, instruction.pc, now=0)
-                    if instruction.is_branch:
-                        predictor.access(instruction)
-                    if instruction.is_memory and instruction.mem_addr is not None:
-                        hierarchy.data_access(
-                            core_id,
-                            instruction.mem_addr,
-                            is_write=instruction.is_store,
-                            now=0,
+                    if position >= fetch_limit:
+                        fetch_limit = hierarchy.access_block(
+                            core_id, pcs, position, stop, skip_sync, FLAG_NO_FETCH
                         )
+                        if fetch_limit == position:
+                            # The fetch itself misses: complete it in place.
+                            hierarchy.instruction_probe(core_id, pcs[position], 0)
+                            fetch_limit = position + 1
+                    if k == load_code or k == store_code:
+                        address = addrs[position]
+                        if address is not None:
+                            hierarchy.data_probe(
+                                core_id, address, k == store_code, 0
+                            )
+                    elif k == branch_code:
+                        predictor.access(instructions[position])
+                    position += 1
+                cursor.advance_to(position)
+                fetch_done[index] = fetch_limit
                 remaining[index] = max(0, remaining[index] - chunk)
         # Warm-up traffic should not pollute the statistics reported for the
         # timed region: clear predictor counters and memory-bus reservations

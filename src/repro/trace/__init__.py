@@ -9,6 +9,7 @@ and sharing, and :mod:`repro.trace.workloads` for the workload shapes used in
 the experiments.
 """
 
+from .columnar import TraceBatch
 from .multithreaded import MultiThreadedTraceGenerator, generate_multithreaded_workload
 from .profiles import (
     FIGURE6_BENCHMARKS,
@@ -41,6 +42,7 @@ __all__ = [
     "spec_benchmark_names",
     "spec_profile",
     "ThreadTrace",
+    "TraceBatch",
     "TraceCursor",
     "Workload",
     "SyntheticTraceGenerator",

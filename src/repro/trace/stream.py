@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..common.isa import Instruction
+from .columnar import TraceBatch
 
 __all__ = ["ThreadTrace", "TraceCursor", "Workload"]
 
@@ -44,6 +45,9 @@ class ThreadTrace:
         self.name = name or f"thread{thread_id}"
         for instruction in self._instructions:
             instruction.thread_id = thread_id
+        # Columnar view, built lazily on first use and shared by every cursor
+        # (the trace is immutable once constructed).
+        self._batch: Optional[TraceBatch] = None
 
     def __len__(self) -> int:
         return len(self._instructions)
@@ -57,6 +61,17 @@ class ThreadTrace:
     def cursor(self) -> "TraceCursor":
         """Return a fresh cursor positioned at the first instruction."""
         return TraceCursor(self)
+
+    def batch(self) -> TraceBatch:
+        """Columnar (struct-of-arrays) view of this trace.
+
+        Generated once and cached; every cursor over the trace shares it, so
+        the interval kernel reads plain list columns instead of materializing
+        an :class:`~repro.common.isa.Instruction` attribute chain per step.
+        """
+        if self._batch is None:
+            self._batch = TraceBatch(self._instructions)
+        return self._batch
 
     @property
     def instruction_count(self) -> int:
@@ -83,6 +98,34 @@ class TraceCursor:
     def __init__(self, trace: ThreadTrace) -> None:
         self._trace = trace
         self._index = 0
+
+    @property
+    def trace(self) -> ThreadTrace:
+        """The trace this cursor reads (e.g. to obtain its columnar batch)."""
+        return self._trace
+
+    @property
+    def position(self) -> int:
+        """Index of the next instruction to be consumed.
+
+        Positions index the trace's :meth:`ThreadTrace.batch` columns, which
+        is how columnar consumers and cursor consumers stay interchangeable.
+        """
+        return self._index
+
+    def advance_to(self, index: int) -> None:
+        """Move the cursor to ``index``, marking everything before it consumed.
+
+        Used by columnar consumers (the interval kernel) that track their own
+        position in the batch: they advance the cursor wholesale instead of
+        calling :meth:`next` per instruction.  The cursor can only move
+        forward and never past the end of the trace.
+        """
+        if index < self._index:
+            raise ValueError("cursor cannot move backwards")
+        if index > len(self._trace):
+            raise ValueError("cursor cannot advance past the end of the trace")
+        self._index = index
 
     @property
     def exhausted(self) -> bool:

@@ -1,0 +1,115 @@
+"""Tests for the throughput-benchmark harness and its CLI surface."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api.bench import (
+    DEFAULT_BENCH_FILENAME,
+    check_baseline,
+    run_throughput_suite,
+    write_report,
+)
+from repro.api.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    """One small suite run shared by the assertions below."""
+    return run_throughput_suite(
+        benchmark="gcc",
+        instructions=2000,
+        warmup_instructions=500,
+        simulators=("interval", "oneipc"),
+        repeats=1,
+    )
+
+
+class TestRunThroughputSuite:
+    def test_report_shape(self, tiny_report):
+        assert tiny_report["format_version"] == 1
+        assert tiny_report["workload"]["instructions"] == 2000
+        assert sorted(tiny_report["results"]) == ["interval", "oneipc"]
+        for row in tiny_report["results"].values():
+            assert row["best_wall_seconds"] > 0
+            assert row["whole_run_kips"] > 0
+            assert row["simulated_kips"] > 0
+            assert row["timed_instructions"] == 1500
+            assert 0 <= row["events_per_instruction"] < 1
+            assert row["total_miss_events"] > 0
+
+    def test_speedups_only_against_detailed(self, tiny_report):
+        # detailed was not measured, so no speedup column is derivable.
+        assert tiny_report["speedup_vs_detailed"] == {}
+
+    def test_unknown_simulator_fails_early(self):
+        with pytest.raises(KeyError):
+            run_throughput_suite(simulators=("no-such-model",), instructions=1000)
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            run_throughput_suite(instructions=0)
+        with pytest.raises(ValueError):
+            run_throughput_suite(instructions=100, repeats=0)
+
+
+class TestBaselineCheck:
+    def test_passes_when_above_floor(self, tiny_report):
+        measured = tiny_report["results"]["interval"]["whole_run_kips"]
+        assert check_baseline(tiny_report, {"interval_kips": measured / 2}) == []
+
+    def test_fails_when_below_floor(self, tiny_report):
+        measured = tiny_report["results"]["interval"]["whole_run_kips"]
+        failures = check_baseline(
+            tiny_report, {"interval_kips": measured * 10}, tolerance=0.2
+        )
+        assert len(failures) == 1
+        assert "interval" in failures[0]
+
+    def test_tolerance_widens_the_floor(self, tiny_report):
+        measured = tiny_report["results"]["interval"]["whole_run_kips"]
+        floor = measured * 1.1  # above the measurement...
+        assert check_baseline(tiny_report, {"interval_kips": floor}, tolerance=0.2) == []
+
+    def test_missing_simulator_reported(self, tiny_report):
+        failures = check_baseline(tiny_report, {"detailed_kips": 1.0})
+        assert failures and "detailed" in failures[0]
+
+    def test_non_kips_keys_ignored(self, tiny_report):
+        assert check_baseline(tiny_report, {"comment": "hello"}) == []
+
+
+class TestReportRoundTrip:
+    def test_write_report_produces_valid_json(self, tiny_report, tmp_path):
+        path = tmp_path / DEFAULT_BENCH_FILENAME
+        write_report(tiny_report, path)
+        reloaded = json.loads(path.read_text())
+        assert reloaded["results"].keys() == tiny_report["results"].keys()
+
+
+class TestBenchCli:
+    def test_bench_subcommand_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        code = cli_main([
+            "bench", "--instructions", "1500", "--warmup", "300",
+            "--simulators", "interval", "--repeats", "1",
+            "--output", str(output),
+        ])
+        assert code == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "Simulator throughput" in out
+        assert "interval" in out
+
+    def test_bench_subcommand_enforces_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"interval_kips": 10_000_000.0}))
+        code = cli_main([
+            "bench", "--instructions", "1500", "--simulators", "interval",
+            "--repeats", "1", "--output", str(tmp_path / "bench.json"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 1

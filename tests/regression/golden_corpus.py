@@ -1,0 +1,71 @@
+"""The frozen workload corpus behind the golden-stats regression tests.
+
+Every entry is a seed-deterministic simulation job (built through the
+:class:`repro.api.Session` layer) whose complete deterministic statistics are
+pinned in ``golden_stats.json``.  Budgets are deliberately small so the
+regression suite stays fast, but every interval-model code path is
+exercised: miss events of all four classes, the overlap scan, both
+ablations, shared-L2/bus contention and barrier/lock synchronization,
+across all three timing models and single-/multi-core shapes.
+
+Shared by ``test_golden_stats.py`` (asserts bit-for-bit equality) and
+``regenerate_golden.py`` (rewrites the pinned file after an *intentional*
+model change).
+"""
+
+from __future__ import annotations
+
+import os
+
+GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden_stats.json")
+
+
+def corpus_specs():
+    """The frozen corpus: (key, session) pairs, all seed-deterministic."""
+    from repro.api import Session
+
+    def single(simulator, benchmark, instructions, warmup, **options):
+        return (
+            Session()
+            .simulator(simulator, **options)
+            .workload(benchmark, instructions=instructions, seed=0)
+            .warmup(warmup)
+            .max_cycles(50_000_000)
+        )
+
+    def multiprogram(simulator, benchmark, copies, instructions, warmup):
+        return (
+            Session()
+            .simulator(simulator)
+            .multiprogram(benchmark, copies=copies, instructions=instructions, seed=0)
+            .warmup(warmup)
+            .max_cycles(50_000_000)
+        )
+
+    def multithreaded(simulator, benchmark, threads, total, warmup):
+        return (
+            Session()
+            .simulator(simulator)
+            .multithreaded(benchmark, threads=threads, total_instructions=total, seed=0)
+            .warmup(warmup)
+            .max_cycles(50_000_000)
+        )
+
+    return [
+        ("interval/gcc/single", single("interval", "gcc", 6000, 2000)),
+        ("interval/mcf/single", single("interval", "mcf", 6000, 2000)),
+        ("interval/twolf/single/cold", single("interval", "twolf", 5000, 0)),
+        ("interval/gcc/single/no_old_window",
+         single("interval", "gcc", 5000, 1000, use_old_window=False)),
+        ("interval/gcc/single/no_overlap",
+         single("interval", "gcc", 5000, 1000, model_overlap=False)),
+        ("oneipc/gcc/single", single("oneipc", "gcc", 6000, 2000)),
+        ("detailed/gcc/single", single("detailed", "gcc", 4000, 1000)),
+        ("interval/mcf/multiprogram-x2", multiprogram("interval", "mcf", 2, 4000, 1000)),
+        ("interval/gcc/multiprogram-x4", multiprogram("interval", "gcc", 4, 3000, 1000)),
+        ("oneipc/mcf/multiprogram-x2", multiprogram("oneipc", "mcf", 2, 4000, 1000)),
+        ("detailed/gcc/multiprogram-x2", multiprogram("detailed", "gcc", 2, 2500, 500)),
+        ("interval/streamcluster/mt-4", multithreaded("interval", "streamcluster", 4, 12000, 1000)),
+        ("interval/fluidanimate/mt-2", multithreaded("interval", "fluidanimate", 2, 8000, 1000)),
+        ("oneipc/vips/mt-2", multithreaded("oneipc", "vips", 2, 8000, 1000)),
+    ]

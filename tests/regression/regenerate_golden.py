@@ -1,0 +1,49 @@
+"""Regenerate the golden-stats corpus for the kernel regression tests.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/regression/regenerate_golden.py
+
+The golden file freezes the *complete* deterministic statistics
+(:meth:`repro.common.stats.SimulationStats.deterministic_dict`, which includes
+per-core counters, CPI-stack components and the shared memory-hierarchy
+counters) for the seeded workload corpus in :mod:`golden_corpus`, across all
+three timing models and both single- and multi-core shapes.  The regression
+test asserts that the simulators reproduce these numbers *bit for bit*, so
+any change to the execution kernel that alters a single miss event, its
+ordering, or a cycle count is caught immediately.
+
+Only regenerate after an *intentional* model change, and say so in the commit
+message: the file is the contract that performance refactors of the hot path
+preserve simulated behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from golden_corpus import GOLDEN_PATH, corpus_specs  # noqa: E402
+
+
+def main() -> int:
+    golden = {}
+    for key, session in corpus_specs():
+        stats = session.run().stats
+        golden[key] = stats.deterministic_dict()
+        print(f"captured {key}: {stats.total_instructions} instructions, "
+              f"{stats.total_cycles} cycles")
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(golden)} golden entries to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+"""Tests for the columnar trace batch and the cursor/batch interplay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.isa import Instruction, InstructionClass, SyncKind
+from repro.trace.columnar import FLAG_NO_FETCH, KLASS_PLAIN, LINE_SHIFT, TraceBatch
+from repro.trace.stream import ThreadTrace
+from repro.trace.workloads import single_threaded_workload
+
+
+def _mixed_instructions():
+    return [
+        Instruction(seq=0, pc=0x1000, klass=InstructionClass.INT_ALU,
+                    src_regs=(1, 2), dst_reg=3),
+        Instruction(seq=1, pc=0x1004, klass=InstructionClass.LOAD,
+                    src_regs=(3,), dst_reg=4, mem_addr=0x8040),
+        Instruction(seq=2, pc=0x1008, klass=InstructionClass.STORE,
+                    src_regs=(4,), mem_addr=0x80C0),
+        Instruction(seq=3, pc=0x100C, klass=InstructionClass.BRANCH,
+                    src_regs=(4,), is_taken=True, branch_target=0x2000),
+        Instruction(seq=4, pc=0x1010, klass=InstructionClass.SYNC,
+                    sync=SyncKind.BARRIER, sync_object=7),
+    ]
+
+
+class TestTraceBatch:
+    def test_columns_mirror_instruction_fields(self):
+        batch = TraceBatch(_mixed_instructions())
+        assert batch.length == 5
+        assert batch.klass == [
+            int(InstructionClass.INT_ALU),
+            int(InstructionClass.LOAD),
+            int(InstructionClass.STORE),
+            int(InstructionClass.BRANCH),
+            int(InstructionClass.SYNC),
+        ]
+        assert batch.pc == [0x1000, 0x1004, 0x1008, 0x100C, 0x1010]
+        assert batch.mem_addr == [None, 0x8040, 0x80C0, None, None]
+        assert batch.mem_line == [None, 0x8040 >> LINE_SHIFT, 0x80C0 >> LINE_SHIFT,
+                                  None, None]
+        assert batch.src_regs[0] == (1, 2)
+        assert batch.dst_reg[:2] == [3, 4]
+        assert batch.is_taken[3] is True
+        assert batch.branch_target[3] == 0x2000
+        assert batch.sync_kind[4] == int(SyncKind.BARRIER)
+        assert batch.sync_object[4] == 7
+
+    def test_fetch_skip_template_marks_only_sync_positions(self):
+        batch = TraceBatch(_mixed_instructions())
+        assert list(batch.fetch_skip_template) == [0, 0, 0, 0, FLAG_NO_FETCH]
+
+    def test_instructions_list_is_shared_not_copied(self):
+        instructions = _mixed_instructions()
+        batch = TraceBatch(instructions)
+        assert batch.instructions is instructions
+
+    def test_latency_table_honours_overrides(self):
+        batch = TraceBatch(_mixed_instructions())
+        table = batch.latency_table({InstructionClass.LOAD: 9})
+        assert table[int(InstructionClass.LOAD)] == 9
+        assert table[int(InstructionClass.INT_ALU)] == 1
+
+    def test_klass_plain_excludes_event_capable_classes(self):
+        for code in (InstructionClass.LOAD, InstructionClass.STORE,
+                     InstructionClass.BRANCH, InstructionClass.SERIALIZING,
+                     InstructionClass.SYNC):
+            assert not KLASS_PLAIN[int(code)]
+        for code in (InstructionClass.INT_ALU, InstructionClass.FP_MUL,
+                     InstructionClass.NOP):
+            assert KLASS_PLAIN[int(code)]
+
+
+class TestTraceBatchCaching:
+    def test_batch_is_built_once_and_shared_across_cursors(self):
+        trace = ThreadTrace(_mixed_instructions())
+        assert trace.batch() is trace.batch()
+        assert trace.cursor().trace.batch() is trace.batch()
+
+    def test_real_workload_batch_matches_cursor_stream(self):
+        workload = single_threaded_workload("gcc", instructions=500, seed=3)
+        trace = workload.traces[0]
+        batch = trace.batch()
+        cursor = trace.cursor()
+        for position in range(len(trace)):
+            instruction = cursor.next()
+            assert instruction is not None
+            assert batch.pc[position] == instruction.pc
+            assert batch.klass[position] == int(instruction.klass)
+            assert batch.mem_addr[position] == instruction.mem_addr
+
+
+class TestCursorAdvance:
+    def test_position_tracks_consumption(self):
+        trace = ThreadTrace(_mixed_instructions())
+        cursor = trace.cursor()
+        assert cursor.position == 0
+        cursor.next()
+        assert cursor.position == 1
+
+    def test_advance_to_consumes_wholesale(self):
+        trace = ThreadTrace(_mixed_instructions())
+        cursor = trace.cursor()
+        cursor.advance_to(4)
+        assert cursor.position == 4
+        assert cursor.remaining == 1
+        assert cursor.next().seq == 4
+
+    def test_advance_backwards_rejected(self):
+        cursor = ThreadTrace(_mixed_instructions()).cursor()
+        cursor.advance_to(3)
+        with pytest.raises(ValueError):
+            cursor.advance_to(2)
+
+    def test_advance_past_end_rejected(self):
+        cursor = ThreadTrace(_mixed_instructions()).cursor()
+        with pytest.raises(ValueError):
+            cursor.advance_to(6)
