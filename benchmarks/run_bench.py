@@ -2,13 +2,18 @@
 """Run the simulator-throughput suite and write ``BENCH_throughput.json``.
 
 Standalone entry point for the benchmark harness in :mod:`repro.api.bench`
-(the same suite is available as ``repro bench``).  From the repository root::
+(the same suite is available as ``repro bench``).  By default every timing
+model is measured on every bench shape (``gcc`` compute-bound, ``mcf``
+memory-bound, ``sync`` barrier/lock-heavy multithreaded); ``--shape``
+selects a subset.  From the repository root::
 
     PYTHONPATH=src python benchmarks/run_bench.py
 
-CI runs it on a tiny workload against the checked-in floor::
+CI runs it on a tiny budget against the checked-in per-(model, shape)
+floors::
 
     PYTHONPATH=src python benchmarks/run_bench.py --instructions 8000 \
+        --shape all \
         --baseline benchmarks/baseline_throughput.json --tolerance 0.2
 
 The report lands at the repository root by default, extending the

@@ -7,15 +7,24 @@ KIPS (thousand simulated instructions per host second) together with the
 model-level quantity that explains it, miss events per instruction — the
 interval-at-a-time kernel pays real work only at events.
 
+The trajectory is a **multi-workload** one: :data:`BENCH_SHAPES` defines
+three canonical shapes that stress different kernel paths — ``gcc``
+(compute-bound single thread, the historical default), ``mcf`` (memory-bound
+single thread: the D-side probe and DRAM paths dominate) and ``sync``
+(PARSEC-like sync-heavy multithreaded: barriers, locks and the multi-core
+event heap dominate).  :func:`run_multi_shape_suite` measures every model on
+every shape.
+
 The suite powers three front ends:
 
 * ``repro bench`` (and ``benchmarks/run_bench.py``) writes the JSON report —
   by convention ``BENCH_throughput.json`` at the repository root — so the
-  perf trajectory is versioned alongside the code;
-* ``--baseline`` compares the measured interval throughput against a
-  checked-in floor and fails the run on a regression, which is what the CI
-  benchmark job enforces;
-* ``benchmarks/test_simulator_throughput.py`` measures the same shape under
+  perf trajectory is versioned alongside the code; ``--shape`` selects the
+  shapes (default: all);
+* ``--baseline`` compares the measured throughput per (model, shape) pair
+  against checked-in floors and fails the run on a regression, which is what
+  the CI benchmark job enforces;
+* ``benchmarks/test_simulator_throughput.py`` measures the same shapes under
   pytest-benchmark.
 """
 
@@ -25,16 +34,20 @@ import argparse
 import json
 import os
 import platform
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..common.config import default_machine_config
 from ..common.stats import Stopwatch
-from ..trace.workloads import single_threaded_workload
+from ..trace.workloads import multithreaded_workload, single_threaded_workload
 from .registry import DEFAULT_REGISTRY, SimulatorRegistry
 
 __all__ = [
     "DEFAULT_BENCH_FILENAME",
+    "BENCH_SHAPES",
+    "BenchShape",
     "run_throughput_suite",
+    "run_multi_shape_suite",
     "check_baseline",
     "write_report",
     "render_report",
@@ -46,8 +59,95 @@ __all__ = [
 #: repository workflows is the repository root).
 DEFAULT_BENCH_FILENAME = "BENCH_throughput.json"
 
-#: Report schema version, bumped on incompatible change.
+#: Report schema version for one-shape reports, and for the multi-shape
+#: trajectory report (the latter nests one-shape fragments under "shapes").
 BENCH_FORMAT_VERSION = 1
+MULTI_SHAPE_FORMAT_VERSION = 2
+
+
+@dataclass(frozen=True)
+class BenchShape:
+    """One canonical benchmark workload shape.
+
+    Attributes
+    ----------
+    name:
+        Shape key used in reports, baselines and the ``--shape`` flag.
+    description:
+        What the shape stresses.
+    kind:
+        ``"single"`` (one thread, one core) or ``"multithreaded"``.
+    benchmark:
+        Profile name resolved through :mod:`repro.trace.workloads`.
+    threads:
+        Thread (= core) count for multithreaded shapes.
+    """
+
+    name: str
+    description: str
+    kind: str
+    benchmark: str
+    threads: int = 1
+
+    def build_workload(self, instructions: int, seed: int):
+        """Instantiate the shape's deterministic workload."""
+        if self.kind == "multithreaded":
+            return multithreaded_workload(
+                self.benchmark,
+                self.threads,
+                total_instructions=instructions,
+                seed=seed,
+            )
+        return single_threaded_workload(
+            self.benchmark, instructions=instructions, seed=seed
+        )
+
+
+#: The canonical multi-workload trajectory: each shape stresses a different
+#: part of the execution kernel.
+BENCH_SHAPES: Dict[str, BenchShape] = {
+    "gcc": BenchShape(
+        name="gcc",
+        description="gcc-like compute-bound, single thread (front-end and "
+        "plain-run paths)",
+        kind="single",
+        benchmark="gcc",
+    ),
+    "mcf": BenchShape(
+        name="mcf",
+        description="mcf-like memory-bound, single thread (D-side probes, "
+        "DRAM and long-latency events)",
+        kind="single",
+        benchmark="mcf",
+    ),
+    "sync": BenchShape(
+        name="sync",
+        description="PARSEC-like sync-heavy (fluidanimate), 4 threads with "
+        "barriers/locks (multi-core event heap and coherence)",
+        kind="multithreaded",
+        benchmark="fluidanimate",
+        threads=4,
+    ),
+}
+
+
+def _resolve_shape(shape: Union[str, BenchShape, None], benchmark: str) -> BenchShape:
+    """Resolve a shape argument (name, object or None→ad-hoc single)."""
+    if shape is None:
+        return BenchShape(
+            name=benchmark,
+            description=f"{benchmark} single thread",
+            kind="single",
+            benchmark=benchmark,
+        )
+    if isinstance(shape, BenchShape):
+        return shape
+    try:
+        return BENCH_SHAPES[shape]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench shape {shape!r}; known shapes: {sorted(BENCH_SHAPES)}"
+        ) from None
 
 
 def run_throughput_suite(
@@ -58,13 +158,17 @@ def run_throughput_suite(
     repeats: int = 3,
     seed: int = 0,
     registry: Optional[SimulatorRegistry] = None,
+    shape: Union[str, BenchShape, None] = None,
 ) -> Dict[str, object]:
-    """Time every requested simulator on one seeded workload.
+    """Time every requested simulator on one seeded workload shape.
 
     Each simulator runs ``repeats`` times on the *same* workload object (the
     columnar batch is pre-built so every round measures steady state) and the
     fastest round is reported, which filters scheduler noise the way
-    pytest-benchmark's ``min`` column does.  Returns the JSON-safe report.
+    pytest-benchmark's ``min`` column does.  ``shape`` selects one of
+    :data:`BENCH_SHAPES` (or a custom :class:`BenchShape`); without it the
+    suite measures an ad-hoc single-threaded ``benchmark``.  Returns the
+    JSON-safe report.
     """
     if instructions <= 0:
         raise ValueError("instructions must be positive")
@@ -74,10 +178,11 @@ def run_throughput_suite(
     warmup = (
         warmup_instructions if warmup_instructions is not None else instructions // 2
     )
-    workload = single_threaded_workload(benchmark, instructions=instructions, seed=seed)
+    bench_shape = _resolve_shape(shape, benchmark)
+    workload = bench_shape.build_workload(instructions, seed)
     for trace in workload.traces:
         trace.batch()  # steady state: the batch is per-trace, built once
-    machine = default_machine_config(num_cores=1)
+    machine = default_machine_config(num_cores=max(1, workload.num_threads))
 
     results: Dict[str, Dict[str, object]] = {}
     for name in simulators:
@@ -99,7 +204,7 @@ def run_throughput_suite(
             "description": entry.description,
             "best_wall_seconds": best_wall,
             # Whole-run throughput: warm-up + timed instructions over the
-            # fastest wall time (the figure the 3x acceptance bar uses).
+            # fastest wall time (the figure the acceptance bars use).
             "whole_run_kips": instructions / best_wall / 1000.0 if best_wall else 0.0,
             # Timed-region throughput, comparable to the paper's KIPS quotes:
             # the simulator's own stopwatch starts after functional warm-up,
@@ -128,7 +233,10 @@ def run_throughput_suite(
             "machine": platform.machine(),
         },
         "workload": {
-            "benchmark": benchmark,
+            "shape": bench_shape.name,
+            "benchmark": bench_shape.benchmark,
+            "kind": bench_shape.kind,
+            "threads": bench_shape.threads,
             "instructions": instructions,
             "warmup_instructions": warmup,
             "seed": seed,
@@ -139,39 +247,139 @@ def run_throughput_suite(
     }
 
 
-def check_baseline(
-    report: Mapping[str, object],
-    baseline: Mapping[str, object],
-    tolerance: float = 0.2,
-) -> List[str]:
-    """Compare a report against a checked-in throughput floor.
+def run_multi_shape_suite(
+    shapes: Sequence[Union[str, BenchShape]] = ("gcc", "mcf", "sync"),
+    instructions: int = 20_000,
+    warmup_instructions: Optional[int] = None,
+    simulators: Sequence[str] = ("interval", "detailed", "oneipc"),
+    repeats: int = 3,
+    seed: int = 0,
+    registry: Optional[SimulatorRegistry] = None,
+) -> Dict[str, object]:
+    """Measure every requested simulator on every requested shape.
 
-    ``baseline`` maps ``"<simulator>_kips"`` keys (e.g. ``interval_kips``) to
-    minimum acceptable whole-run KIPS; a measured value below
-    ``floor * (1 - tolerance)`` is a regression.  Returns the list of failure
-    messages (empty when everything passes).  Baselines are deliberately
-    coarse — CI machines vary — so the gate catches order-of-magnitude
-    kernel regressions, not scheduler noise.
+    Returns the multi-shape trajectory report: the per-shape fragments of
+    :func:`run_throughput_suite` nested under ``"shapes"``.
     """
+    if not shapes:
+        raise ValueError("need at least one bench shape")
+    fragments: Dict[str, Dict[str, object]] = {}
+    for shape in shapes:
+        fragment = run_throughput_suite(
+            instructions=instructions,
+            warmup_instructions=warmup_instructions,
+            simulators=simulators,
+            repeats=repeats,
+            seed=seed,
+            registry=registry,
+            shape=shape,
+        )
+        name = fragment["workload"]["shape"]  # type: ignore[index]
+        fragments[name] = {
+            "workload": fragment["workload"],
+            "results": fragment["results"],
+            "speedup_vs_detailed": fragment["speedup_vs_detailed"],
+        }
+    return {
+        "format_version": MULTI_SHAPE_FORMAT_VERSION,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "repeats": repeats,
+        "shapes": fragments,
+    }
+
+
+def _check_floors(
+    results: Mapping[str, object],
+    floors: Mapping[str, object],
+    tolerance: float,
+    label: str = "",
+) -> List[str]:
+    """Compare one shape's results against flat ``<simulator>_kips`` floors."""
     failures: List[str] = []
-    results = report.get("results", {})
-    assert isinstance(results, Mapping)
-    for key, floor in baseline.items():
+    prefix = f"{label}/" if label else ""
+    for key, floor in floors.items():
         if not isinstance(key, str) or not key.endswith("_kips"):
             continue
         simulator = key[: -len("_kips")]
         row = results.get(simulator)
         if row is None:
-            failures.append(f"baseline names {simulator!r} but it was not measured")
+            failures.append(
+                f"baseline names {prefix}{simulator!r} but it was not measured"
+            )
             continue
         measured = float(row["whole_run_kips"])  # type: ignore[index,call-overload]
         threshold = float(floor) * (1.0 - tolerance)  # type: ignore[arg-type]
         if measured < threshold:
             failures.append(
-                f"{simulator}: {measured:.1f} KIPS is below the baseline floor "
-                f"{float(floor):.1f} KIPS - {tolerance:.0%} = {threshold:.1f} KIPS"  # type: ignore[arg-type]
+                f"{prefix}{simulator}: {measured:.1f} KIPS is below the baseline "
+                f"floor {float(floor):.1f} KIPS - {tolerance:.0%} = "  # type: ignore[arg-type]
+                f"{threshold:.1f} KIPS"
             )
     return failures
+
+
+def check_baseline(
+    report: Mapping[str, object],
+    baseline: Mapping[str, object],
+    tolerance: float = 0.2,
+) -> List[str]:
+    """Compare a report against checked-in throughput floors.
+
+    For a one-shape report, ``baseline`` maps ``"<simulator>_kips"`` keys
+    (e.g. ``interval_kips``) to minimum acceptable whole-run KIPS.  For a
+    multi-shape report, ``baseline["shapes"]`` nests those flat floors per
+    shape name and every (simulator, shape) pair is gated independently; a
+    flat baseline against a multi-shape report applies to the ``gcc`` shape
+    only (legacy format).  A measured value below ``floor * (1 - tolerance)``
+    is a regression.  Returns the list of failure messages (empty when
+    everything passes).  Baselines are deliberately coarse — CI machines
+    vary — so the gate catches order-of-magnitude kernel regressions, not
+    scheduler noise.
+    """
+    shapes = report.get("shapes")
+    if isinstance(shapes, Mapping):
+        baseline_shapes = baseline.get("shapes")
+        failures: List[str] = []
+        if isinstance(baseline_shapes, Mapping):
+            for shape_name, floors in baseline_shapes.items():
+                if not isinstance(floors, Mapping):
+                    continue
+                fragment = shapes.get(shape_name)
+                if fragment is None:
+                    # The caller measured a subset of shapes (--shape): only
+                    # gate what was measured (a shape that fails to *run*
+                    # aborts the suite before the gate).
+                    continue
+                results = fragment.get("results", {})  # type: ignore[union-attr]
+                assert isinstance(results, Mapping)
+                failures.extend(
+                    _check_floors(results, floors, tolerance, label=shape_name)
+                )
+            return failures
+        # Legacy flat baseline against a multi-shape report: gate gcc only.
+        fragment = shapes.get("gcc")
+        if fragment is None:
+            return ["flat baseline requires the 'gcc' shape in the report"]
+        results = fragment.get("results", {})  # type: ignore[union-attr]
+        assert isinstance(results, Mapping)
+        return _check_floors(results, baseline, tolerance, label="gcc")
+
+    results = report.get("results", {})
+    assert isinstance(results, Mapping)
+    floors = baseline.get("shapes")
+    if isinstance(floors, Mapping):
+        # Per-shape baseline against a one-shape report: pick its shape.
+        workload = report.get("workload", {})
+        assert isinstance(workload, Mapping)
+        shape_name = str(workload.get("shape", "gcc"))
+        shape_floors = floors.get(shape_name)
+        if not isinstance(shape_floors, Mapping):
+            return [f"baseline has no floors for shape {shape_name!r}"]
+        return _check_floors(results, shape_floors, tolerance, label=shape_name)
+    return _check_floors(results, baseline, tolerance)
 
 
 def write_report(
@@ -183,16 +391,14 @@ def write_report(
         handle.write("\n")
 
 
-def render_report(report: Mapping[str, object]) -> str:
-    """Human-readable table for a throughput report."""
+def _render_shape(workload: Mapping[str, object], fragment: Mapping[str, object]) -> str:
+    """One shape's table."""
     from ..experiments.runner import render_table
 
-    workload = report.get("workload", {})
-    assert isinstance(workload, Mapping)
     rows = []
-    results = report.get("results", {})
+    results = fragment.get("results", {})
     assert isinstance(results, Mapping)
-    speedups = report.get("speedup_vs_detailed", {})
+    speedups = fragment.get("speedup_vs_detailed", {})
     assert isinstance(speedups, Mapping)
     for name, row in results.items():
         rows.append(
@@ -206,6 +412,9 @@ def render_report(report: Mapping[str, object]) -> str:
                 float(speedups.get(name, 1.0)) if name != "detailed" else 1.0,
             )
         )
+    shape = workload.get("shape", workload.get("benchmark"))
+    threads = workload.get("threads", 1)
+    thread_note = f", {threads} threads" if threads and int(str(threads)) > 1 else ""
     return render_table(
         [
             "simulator",
@@ -218,11 +427,28 @@ def render_report(report: Mapping[str, object]) -> str:
         ],
         rows,
         title=(
-            f"Simulator throughput on {workload.get('benchmark')} "
-            f"({workload.get('instructions')} instructions, "
+            f"Simulator throughput on shape {shape!r} "
+            f"({workload.get('benchmark')}{thread_note}, "
+            f"{workload.get('instructions')} instructions, "
             f"{workload.get('warmup_instructions')} warm-up)"
         ),
     )
+
+
+def render_report(report: Mapping[str, object]) -> str:
+    """Human-readable table(s) for a one-shape or multi-shape report."""
+    shapes = report.get("shapes")
+    if isinstance(shapes, Mapping):
+        blocks = []
+        for fragment in shapes.values():
+            assert isinstance(fragment, Mapping)
+            workload = fragment.get("workload", {})
+            assert isinstance(workload, Mapping)
+            blocks.append(_render_shape(workload, fragment))
+        return "\n\n".join(blocks)
+    workload = report.get("workload", {})
+    assert isinstance(workload, Mapping)
+    return _render_shape(workload, report)
 
 
 # -- CLI plumbing shared by `repro bench` and benchmarks/run_bench.py ------------
@@ -230,7 +456,18 @@ def render_report(report: Mapping[str, object]) -> str:
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the benchmark flags to an argparse parser."""
-    parser.add_argument("--benchmark", default="gcc", help="benchmark name")
+    parser.add_argument(
+        "--shape",
+        default="all",
+        help="comma-separated bench shapes to measure "
+        f"({', '.join(BENCH_SHAPES)}; default: all)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default=None,
+        help="measure one ad-hoc single-threaded benchmark instead of the "
+        "canonical shapes",
+    )
     parser.add_argument(
         "--instructions", type=int, default=20_000, help="instructions to simulate"
     )
@@ -271,14 +508,40 @@ def run_bench_command(args: argparse.Namespace) -> int:
     simulators = [name.strip() for name in args.simulators.split(",") if name.strip()]
     if not simulators:
         raise SystemExit("error: --simulators needs at least one name")
-    report = run_throughput_suite(
-        benchmark=args.benchmark,
-        instructions=args.instructions,
-        warmup_instructions=args.warmup,
-        simulators=simulators,
-        repeats=args.repeats,
-        seed=args.seed,
-    )
+    if args.benchmark:
+        # Ad-hoc single-threaded benchmark: one-shape (legacy) report.
+        report = run_throughput_suite(
+            benchmark=args.benchmark,
+            instructions=args.instructions,
+            warmup_instructions=args.warmup,
+            simulators=simulators,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    else:
+        shape_arg = args.shape.strip()
+        if shape_arg == "all":
+            shapes: Sequence[str] = tuple(BENCH_SHAPES)
+        else:
+            shapes = tuple(
+                name.strip() for name in shape_arg.split(",") if name.strip()
+            )
+            if not shapes:
+                raise SystemExit("error: --shape needs at least one shape name")
+            for name in shapes:
+                if name not in BENCH_SHAPES:
+                    raise SystemExit(
+                        f"error: unknown bench shape {name!r} "
+                        f"(known: {', '.join(BENCH_SHAPES)})"
+                    )
+        report = run_multi_shape_suite(
+            shapes=shapes,
+            instructions=args.instructions,
+            warmup_instructions=args.warmup,
+            simulators=simulators,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
     print(render_report(report))
     if args.output:
         write_report(report, args.output)

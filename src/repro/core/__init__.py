@@ -1,20 +1,24 @@
 """Interval simulation — the paper's primary contribution.
 
-This package contains the analytical core timing model: the instruction
-window (:mod:`repro.core.window`), the old-window critical-path estimator
-(:mod:`repro.core.old_window`), the per-core interval model
+This package contains the analytical core timing model: the shared
+interval-at-a-time execution-kernel layer (:mod:`repro.core.kernel`), the
+instruction window (:mod:`repro.core.window`), the old-window critical-path
+estimator (:mod:`repro.core.old_window`), the per-core interval model
 (:mod:`repro.core.interval_core`), the multi-core interval simulator
-(:mod:`repro.core.interval_sim`), and the naive one-IPC baseline model the
-paper positions itself against (:mod:`repro.core.oneipc`).
+(:mod:`repro.core.interval_sim`), and the one-IPC baseline model the paper
+positions itself against (:mod:`repro.core.oneipc`) — batched on the same
+kernel layer.
 """
 
 from .interval_core import IntervalCore
 from .interval_sim import IntervalSimulator
+from .kernel import ColumnarKernelCore
 from .old_window import OldWindow
 from .oneipc import OneIPCCore, OneIPCSimulator
 from .window import InstructionWindow, WindowEntry
 
 __all__ = [
+    "ColumnarKernelCore",
     "IntervalCore",
     "IntervalSimulator",
     "OldWindow",

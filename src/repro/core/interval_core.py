@@ -26,7 +26,9 @@ Execution engine
 ----------------
 The model above is *interval level*: between two miss events nothing happens
 except dispatch at the effective rate.  :class:`IntervalCore` therefore runs
-an **interval-at-a-time kernel**: :meth:`IntervalCore.simulate_interval`
+an **interval-at-a-time kernel** on the shared execution-kernel layer
+(:mod:`repro.core.kernel`, which also drives the one-IPC model and the
+detailed front end): :meth:`IntervalCore.simulate_interval`
 consumes the columnar trace batch (:class:`~repro.trace.columnar.TraceBatch`)
 directly, tracks the instruction window *implicitly* as a sliding index range
 plus one flag byte per instruction, and charges interval cycles with pure
@@ -61,41 +63,31 @@ from typing import List, Optional, Set
 
 from ..branch import BranchPredictor
 from ..common.config import MachineConfig
-from ..common.isa import Instruction, InstructionClass, SyncKind
 from ..common.stats import CoreStats
 from ..memory.hierarchy import MemoryHierarchy
-from ..multicore.simulator import CoreModel
 from ..multicore.sync import SynchronizationManager
-from ..trace.columnar import FLAG_NO_FETCH, KLASS_PLAIN, TraceBatch
+from ..trace.columnar import KLASS_PLAIN, TraceBatch
 from ..trace.stream import TraceCursor
+from .kernel import (
+    _SK_BARRIER,
+    _SK_LOCK_ACQUIRE,
+    F_BROVR as _F_BROVR,
+    F_DOVR as _F_DOVR,
+    F_IOVR as _F_IOVR,
+    F_SKIP_FETCH as _F_SKIP_FETCH,
+    KLASS_BRANCH as _BRANCH,
+    KLASS_LOAD as _LOAD,
+    KLASS_SERIALIZING as _SERIALIZING,
+    KLASS_STORE as _STORE,
+    KLASS_SYNC as _SYNC,
+    ColumnarKernelCore,
+)
 from .old_window import OldWindow
 
 __all__ = ["IntervalCore"]
 
 
-# Instruction-class codes, hoisted so the kernel compares plain ints.
-_LOAD = int(InstructionClass.LOAD)
-_STORE = int(InstructionClass.STORE)
-_BRANCH = int(InstructionClass.BRANCH)
-_SERIALIZING = int(InstructionClass.SERIALIZING)
-_SYNC = int(InstructionClass.SYNC)
-
-_SK_BARRIER = int(SyncKind.BARRIER)
-_SK_LOCK_ACQUIRE = int(SyncKind.LOCK_ACQUIRE)
-_SK_LOCK_RELEASE = int(SyncKind.LOCK_RELEASE)
-
-# Flag bits, one byte per trace position (the implicit window's per-entry
-# state).  Bits 1/2/4 are the ``I/br/D_overlapped`` flags of the Figure-3
-# pseudocode; bit 8 (shared with the batch's fetch-skip template) marks sync
-# pseudo-ops, which never access the I-side.
-_F_IOVR = 1
-_F_BROVR = 2
-_F_DOVR = 4
-_F_NOFETCH = FLAG_NO_FETCH
-_F_SKIP_FETCH = _F_IOVR | _F_NOFETCH
-
-
-class IntervalCore(CoreModel):
+class IntervalCore(ColumnarKernelCore):
     """Interval-analysis timing model of one out-of-order core."""
 
     def __init__(
@@ -109,19 +101,11 @@ class IntervalCore(CoreModel):
         use_old_window: bool = True,
         model_overlap: bool = True,
     ) -> None:
-        super().__init__(core_id, stats)
-        self.config = config
-        self.core_config = config.core
-        self.hierarchy = hierarchy
-        self.predictor = predictor
-        self.sync = sync
+        super().__init__(core_id, config, hierarchy, predictor, stats, sync)
         self.old_window = OldWindow(
             capacity=config.core.rob_entries,
             dispatch_width=config.core.dispatch_width,
         )
-        self._cursor: Optional[TraceCursor] = None
-        self._thread_id: Optional[int] = None
-        self._waiting_barrier: Optional[int] = None
         # Ablation switches (both on for the paper's full model):
         # use_old_window=False disables the old-window estimates (fixed
         # dispatch rate, zero branch resolution time), reverting to the prior
@@ -130,43 +114,24 @@ class IntervalCore(CoreModel):
         # loads.
         self.use_old_window = use_old_window
         self.model_overlap = model_overlap
-        # Columnar kernel state, bound in bind_thread(): the implicit window
-        # is the index range [_head, _tail) over the trace batch, _ovr holds
-        # the per-position flag byte, and positions below _fetch_limit have
-        # already performed their (verified-hit) fetch.
-        self._batch: Optional[TraceBatch] = None
-        self._n = 0
-        self._head = 0
+        # The implicit window is the index range [_head, _tail) over the
+        # trace batch, _ovr holds the per-position flag byte, and positions
+        # below _fetch_limit have already performed their (verified-hit)
+        # fetch.
         self._tail = 0
-        self._fetch_limit = 0
         self._ovr = bytearray()
         self._lat: List[int] = []
 
     # -- CoreModel interface -----------------------------------------------------
 
-    def bind_thread(self, cursor: TraceCursor, thread_id: int) -> None:
-        """Attach a software thread's instruction stream to this core."""
-        self._cursor = cursor
-        self._thread_id = thread_id
-        batch = cursor.trace.batch()
-        self._batch = batch
-        self._n = batch.length
+    def _bind_batch(self, batch: TraceBatch, cursor: TraceCursor) -> None:
+        """Set up the implicit window over the bound trace's batch."""
         self._lat = batch.latency_table(self.core_config.execution_latencies)
         self._ovr = bytearray(batch.fetch_skip_template)
-        # The window fills immediately from the stream (tail feed); the
-        # cursor position accounts for any functionally-warmed prefix.
-        self._head = cursor.position
+        # The window fills immediately from the stream (tail feed); _head
+        # already accounts for any functionally-warmed prefix.
         self._tail = min(self._head + self.core_config.rob_entries, batch.length)
-        self._fetch_limit = self._head
         cursor.advance_to(self._tail)
-
-    def simulate_cycle(self, multi_core_time: int) -> None:
-        """Simulate one event step of this core (Figure 3, lines 5–68)."""
-        if self.finished or self._cursor is None:
-            return
-        if self.sim_time != multi_core_time:
-            return
-        self.simulate_interval(multi_core_time + 1)
 
     def simulate_interval(self, run_until: int) -> None:
         """Run the interval kernel until ``sim_time`` reaches ``run_until``.
@@ -183,11 +148,45 @@ class IntervalCore(CoreModel):
         sim_time = self.sim_time
         if sim_time >= run_until:
             return
+        batch = self._batch
+        assert batch is not None
+
+        # Blocked-at-barrier event steps dominate sync-heavy workloads (tied
+        # waiting cores interleave one cycle at a time); detect the block
+        # with side-effect-free checks and charge the whole stall without
+        # paying the full alias hoist below.  A block at cycle start repeats
+        # identically every remaining cycle before run_until.  Completed sync
+        # ops (and first barrier arrivals) fall through to the main loop,
+        # which owns their side effects and dispatch-budget accounting.
+        head = self._head
+        sync_mgr = self.sync
+        if head < self._n and batch.klass[head] == _SYNC and sync_mgr is not None:
+            kind = batch.sync_kind[head]
+            sync_object = batch.sync_object[head]
+            if kind == _SK_BARRIER:
+                if self._waiting_barrier == sync_object and not sync_mgr.barrier_released(
+                    sync_object
+                ):
+                    # Already arrived, barrier still closed: every remaining
+                    # cycle re-checks without side effects.
+                    span = self._blocked_stall_span(sim_time, run_until)
+                    self.stats.sync_stall_cycles += span
+                    self.sim_time = sim_time + span
+                    return
+            elif kind == _SK_LOCK_ACQUIRE and self._thread_id is not None:
+                holder = sync_mgr.lock_holder(sync_object)
+                if holder is not None and holder != self._thread_id:
+                    # Contended lock: every remaining cycle performs one
+                    # failing acquire attempt.
+                    span = self._blocked_stall_span(sim_time, run_until)
+                    self.stats.sync_stall_cycles += span
+                    self.stats.lock_contended += span
+                    sync_mgr.stats.lock_contentions += span
+                    self.sim_time = sim_time + span
+                    return
 
         # -- hot-loop aliases -----------------------------------------------------
         stats = self.stats
-        batch = self._batch
-        assert batch is not None
         klass = batch.klass
         pcs = batch.pc
         addrs = batch.mem_addr
@@ -326,13 +325,21 @@ class IntervalCore(CoreModel):
 
                 if k == _SYNC:
                     # -- synchronization pseudo-instruction (no fetch) --
-                    if not self._handle_sync_kind(
-                        sync_kind_col[head], sync_obj_col[head]
-                    ):
+                    kind = sync_kind_col[head]
+                    if not self._handle_sync_kind(kind, sync_obj_col[head]):
                         # Blocked at a barrier or contended lock: the core
                         # stalls this cycle; it will retry once global time
-                        # catches up.
-                        stats.sync_stall_cycles += 1
+                        # catches up.  When the block is at cycle start the
+                        # remaining cycles up to run_until repeat identically
+                        # (no other core runs in between), so the whole
+                        # stall is charged in one step.
+                        if dispatched == 0:
+                            span = self._blocked_stall_span(sim_time, run_until)
+                            self._charge_blocked_retries(kind, span)
+                            stats.sync_stall_cycles += span
+                            sim_time += span
+                        else:
+                            stats.sync_stall_cycles += 1
                         break
                     instr_count += 1  # sync ops skip the old window
                     head += 1
@@ -524,14 +531,12 @@ class IntervalCore(CoreModel):
         if cursor is not None and cursor.position < tail:
             cursor.advance_to(tail)
 
-    def _finish(self) -> None:
-        """Record completion of this core's trace."""
-        if self.finished:
-            return
-        self.finished = True
-        self.stats.cycles = self.sim_time
-        # The CPI-stack base component is whatever is not attributed to a
-        # miss-event class: cycles spent dispatching at the effective rate.
+    def _finalize_stats(self) -> None:
+        """Derive the CPI-stack base component at completion.
+
+        The base is whatever is not attributed to a miss-event class: cycles
+        spent dispatching at the effective rate.
+        """
         attributed = (
             self.stats.icache_penalty_cycles
             + self.stats.branch_penalty_cycles
@@ -540,8 +545,6 @@ class IntervalCore(CoreModel):
             + self.stats.sync_stall_cycles
         )
         self.stats.base_cycles = max(0, self.stats.cycles - attributed)
-        if self.sync is not None and self._thread_id is not None:
-            self.sync.thread_finished(self._thread_id)
 
     # -- miss-event handling (Figure 3 lines 35–49) -----------------------------------
 
@@ -684,42 +687,3 @@ class IntervalCore(CoreModel):
                     tainted_registers.add(dst)
             position += 1
 
-    # -- synchronization -----------------------------------------------------------
-
-    def _handle_sync_kind(self, kind: int, sync_object: int) -> bool:
-        """Interpret a synchronization pseudo-instruction.
-
-        Returns ``True`` when the instruction completes (and may be
-        dispatched), ``False`` when the core must stall this cycle.
-        """
-        if self.sync is None or self._thread_id is None:
-            return True
-        if kind == _SK_BARRIER:
-            if self._waiting_barrier != sync_object:
-                self.sync.barrier_arrive(self._thread_id, sync_object)
-                self._waiting_barrier = sync_object
-                self.stats.barrier_waits += 1
-            if self.sync.barrier_released(sync_object):
-                self._waiting_barrier = None
-                return True
-            return False
-        if kind == _SK_LOCK_ACQUIRE:
-            acquired = self.sync.lock_try_acquire(self._thread_id, sync_object)
-            if acquired:
-                self.stats.lock_acquisitions += 1
-                return True
-            self.stats.lock_contended += 1
-            return False
-        if kind == _SK_LOCK_RELEASE:
-            # Only release locks this thread actually holds; a mismatched
-            # release can occur when functional warm-up skipped the matching
-            # acquire and is simply ignored.
-            if self.sync.lock_holder(sync_object) == self._thread_id:
-                self.sync.lock_release(self._thread_id, sync_object)
-            return True
-        # Other sync kinds (spawn/join) are treated as no-ops by the timing model.
-        return True
-
-    def _handle_sync(self, instruction: Instruction) -> bool:
-        """Instruction-object wrapper around :meth:`_handle_sync_kind`."""
-        return self._handle_sync_kind(int(instruction.sync), instruction.sync_object)

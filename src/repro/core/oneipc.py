@@ -6,155 +6,260 @@ cycle (i.e., a non-memory IPC equal to one)" and positions interval
 simulation as an "easy-to-implement, fast and more accurate alternative for
 the one-IPC performance model".
 
-:class:`OneIPCCore` implements exactly that baseline: every non-memory
-instruction takes one cycle; memory accesses and branch mispredictions add
-their miss penalties (determined by the same branch-predictor and
-memory-hierarchy simulators the other models use).  Having the baseline in
-the package lets the ablation benchmarks quantify how much accuracy interval
-analysis adds over the naive model.
+:class:`OneIPCCore` implements exactly that baseline *model*: every
+non-memory instruction takes one cycle; memory accesses and branch
+mispredictions add their miss penalties (determined by the same
+branch-predictor and memory-hierarchy simulators the other models use).
+Having the baseline in the package lets the ablation benchmarks quantify how
+much accuracy interval analysis adds over the naive model.
+
+Execution engine
+----------------
+Although the *model* is simple, it no longer executes as a slow per-cycle
+loop: :class:`OneIPCCore` runs on the shared execution-kernel layer
+(:mod:`repro.core.kernel`) and is embarrassingly batchable.  Under one-IPC
+semantics every instruction between two miss events costs exactly one cycle,
+so :meth:`OneIPCCore.simulate_interval` commits whole inter-event runs over
+the columnar :class:`~repro.trace.columnar.TraceBatch` as constant-time
+arithmetic (``instructions += run``, ``sim_time += run``), with fetches
+verified interval-at-a-time through the hierarchy's batched probe
+(:meth:`~repro.memory.hierarchy.MemoryHierarchy.access_block`).  Per-
+instruction work survives only where the model genuinely interacts with
+another simulator: branch-predictor accesses, data-side probes and
+synchronization pseudo-ops.  The kernel is bit-identical to the reference
+per-cycle formulation (``tests/regression`` pins it against the frozen
+golden corpus).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from ..branch import BranchPredictor
-from ..common.config import MachineConfig
-from ..common.isa import Instruction, SyncKind
 from ..common.stats import CoreStats
 from ..memory.hierarchy import MemoryHierarchy
 from ..multicore.simulator import CoreModel, MulticoreSimulator
 from ..multicore.sync import SynchronizationManager
+from ..trace.columnar import KLASS_PLAIN, TraceBatch
 from ..trace.stream import TraceCursor
+from .kernel import (
+    F_NOFETCH as _F_NOFETCH,
+    KLASS_BRANCH as _BRANCH,
+    KLASS_LOAD as _LOAD,
+    KLASS_STORE as _STORE,
+    KLASS_SYNC as _SYNC,
+    ColumnarKernelCore,
+)
 
 __all__ = ["OneIPCCore", "OneIPCSimulator"]
 
 
-class OneIPCCore(CoreModel):
+class OneIPCCore(ColumnarKernelCore):
     """A core that commits one instruction per cycle plus miss penalties."""
 
-    def __init__(
-        self,
-        core_id: int,
-        config: MachineConfig,
-        hierarchy: MemoryHierarchy,
-        predictor: BranchPredictor,
-        stats: CoreStats,
-        sync: Optional[SynchronizationManager] = None,
-    ) -> None:
-        super().__init__(core_id, stats)
-        self.config = config
-        self.hierarchy = hierarchy
-        self.predictor = predictor
-        self.sync = sync
-        self._cursor: Optional[TraceCursor] = None
-        self._thread_id: Optional[int] = None
-        self._waiting_barrier: Optional[int] = None
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._run_ends: List[int] = []
 
-    def bind_thread(self, cursor: TraceCursor, thread_id: int) -> None:
-        """Attach a software thread's instruction stream to this core."""
-        self._cursor = cursor
-        self._thread_id = thread_id
+    def _bind_batch(self, batch: TraceBatch, cursor: TraceCursor) -> None:
+        """Cache the batch's plain-run column for the arithmetic commits."""
+        self._run_ends = batch.plain_run_ends()
 
-    def simulate_cycle(self, multi_core_time: int) -> None:
-        """Execute one instruction (or stall on synchronization)."""
+    def simulate_interval(self, run_until: int) -> None:
+        """Run the one-IPC kernel until ``sim_time`` reaches ``run_until``.
+
+        Whole runs of plain instructions inside the verified-fetch window
+        commit as one arithmetic step (each is exactly one cycle under the
+        one-IPC assumption); the hierarchy, the branch predictor and the
+        synchronization manager are consulted only where the reference
+        per-cycle formulation consulted them, at the same simulated times.
+        """
         if self.finished or self._cursor is None:
             return
-        if self.sim_time != multi_core_time:
+        sim_time = self.sim_time
+        if sim_time >= run_until:
             return
-        instruction = self._cursor.peek()
-        if instruction is None:
-            self._finish()
-            return
+        batch = self._batch
+        assert batch is not None
 
-        if instruction.is_sync:
-            if not self._handle_sync(instruction):
-                self.stats.sync_stall_cycles += 1
-                self.sim_time += 1
+        # Blocked-at-barrier event steps dominate sync-heavy workloads (tied
+        # waiting cores interleave one cycle at a time); charge them without
+        # paying the full alias hoist below.
+        pos = self._head
+        if pos < self._n and batch.klass[pos] == _SYNC:
+            kind = batch.sync_kind[pos]
+            if not self._handle_sync_kind(kind, batch.sync_object[pos]):
+                span = self._blocked_stall_span(sim_time, run_until)
+                self._charge_blocked_retries(kind, span)
+                self.stats.sync_stall_cycles += span
+                self.sim_time = sim_time + span
                 return
-            self._cursor.next()
+            # The sync op completed: commit it exactly like the main loop.
             self.stats.instructions += 1
-            self.sim_time += 1
-            return
-
-        self._cursor.next()
-        self.stats.instructions += 1
-        penalty = 0
-
-        result = self.hierarchy.instruction_access(
-            self.core_id, instruction.pc, now=self.sim_time
-        )
-        if result.l1_miss or result.tlb_miss:
-            penalty += result.penalty
-            if result.l1_miss:
-                self.stats.icache_misses += 1
-            if result.tlb_miss:
-                self.stats.itlb_misses += 1
-
-        if instruction.is_branch:
-            self.stats.branch_lookups += 1
-            if not self.predictor.access(instruction):
-                self.stats.branch_mispredictions += 1
-                penalty += self.config.core.frontend_pipeline_depth
-
-        if instruction.is_memory:
-            assert instruction.mem_addr is not None
-            access = self.hierarchy.data_access(
-                self.core_id,
-                instruction.mem_addr,
-                is_write=instruction.is_store,
-                now=self.sim_time,
+            pos += 1
+            sim_time += 1
+            self._store_kernel_state(
+                pos, self._fetch_limit, sim_time, self.stats.instructions
             )
-            self.stats.dcache_accesses += 1
-            if access.l1_miss:
-                self.stats.l1d_misses += 1
-            if access.tlb_miss:
-                self.stats.dtlb_misses += 1
-            if instruction.is_load:
-                self.stats.committed_loads += 1
-                penalty += access.penalty
-                if access.long_latency:
-                    self.stats.long_latency_loads += 1
-            else:
-                self.stats.committed_stores += 1
+            if pos >= self._n:
+                self._finish()
+                return
+            if sim_time >= run_until:
+                return
 
-        self.sim_time += 1 + penalty
-        if self._cursor.exhausted:
+        # -- hot-loop aliases -----------------------------------------------------
+        stats = self.stats
+        klass = batch.klass
+        pcs = batch.pc
+        addrs = batch.mem_addr
+        sync_kind_col = batch.sync_kind
+        sync_obj_col = batch.sync_object
+        instrs = batch.instructions
+        # Traces without sync pseudo-ops skip the per-position flag test in
+        # the batched probe entirely.
+        skip_flags = batch.fetch_skip_template if batch.has_sync else None
+        run_ends = self._run_ends
+        plain = KLASS_PLAIN
+        n = self._n
+        pos = self._head
+        fetch_limit = self._fetch_limit
+
+        hierarchy = self.hierarchy
+        core_id = self.core_id
+        probe = hierarchy.instruction_probe
+        fetch_block = hierarchy.access_block
+        data_probe = hierarchy.data_probe
+        predictor_access = self.predictor.access
+        fe_depth = self.core_config.frontend_pipeline_depth
+        instr_count = stats.instructions
+
+        while sim_time < run_until:
+            if pos >= n:
+                break  # stream empty at cycle start (empty trace)
+            k = klass[pos]
+
+            if plain[k] and pos < fetch_limit:
+                # -- whole inter-event run: a constant-time arithmetic commit --
+                # Every instruction in [pos, limit) is plain (no data access,
+                # no branch, no sync) with its fetch already verified as a
+                # hit, so each costs exactly one cycle.
+                limit = run_ends[pos]
+                if limit > fetch_limit:
+                    limit = fetch_limit
+                span = limit - pos
+                budget = run_until - sim_time  # driver bound (may be inf)
+                if span > budget:
+                    span = int(budget)
+                sim_time += span
+                instr_count += span
+                pos += span
+                if pos >= n:
+                    break
+                continue
+
+            if k == _SYNC:
+                # -- synchronization pseudo-instruction (no fetch) --
+                kind = sync_kind_col[pos]
+                if not self._handle_sync_kind(kind, sync_obj_col[pos]):
+                    # Blocked at a barrier or contended lock: nothing can
+                    # unblock the core before run_until, so the whole stall
+                    # is charged in one step (with the skipped retries'
+                    # side effects).
+                    span = self._blocked_stall_span(sim_time, run_until)
+                    self._charge_blocked_retries(kind, span)
+                    stats.sync_stall_cycles += span
+                    sim_time += span
+                    continue
+                instr_count += 1
+                pos += 1
+                sim_time += 1
+                if pos >= n:
+                    break
+                continue
+
+            penalty = 0
+
+            # -- instruction fetch --
+            if pos >= fetch_limit:
+                # One batched probe commits every upcoming fetch hit and
+                # stops at the next I-side miss event.
+                fetch_limit = fetch_block(core_id, pcs, pos, n, skip_flags, _F_NOFETCH)
+                if fetch_limit == pos:
+                    result = probe(core_id, pcs[pos], sim_time)
+                    fetch_limit = pos + 1
+                    if result is not None:
+                        if result.l1_miss:
+                            stats.icache_misses += 1
+                        if result.tlb_miss:
+                            stats.itlb_misses += 1
+                        penalty = result.penalty
+
+            if plain[k]:
+                if penalty == 0:
+                    continue  # fetch verified: the batched path takes the run
+                instr_count += 1
+                pos += 1
+                sim_time += 1 + penalty
+                if pos >= n:
+                    break
+                continue
+
+            if k == _BRANCH:
+                # -- branch prediction: mispredictions refill the front end --
+                stats.branch_lookups += 1
+                if not predictor_access(instrs[pos]):
+                    stats.branch_mispredictions += 1
+                    penalty += fe_depth
+            elif k == _LOAD or k == _STORE:
+                # -- data access: loads observe the whole miss penalty --
+                is_store = k == _STORE
+                result = data_probe(core_id, addrs[pos], is_store, sim_time)
+                stats.dcache_accesses += 1
+                if result is None:
+                    # L1/TLB hit: no penalty.
+                    if is_store:
+                        stats.committed_stores += 1
+                    else:
+                        stats.committed_loads += 1
+                else:
+                    if result.l1_miss:
+                        stats.l1d_misses += 1
+                    if result.tlb_miss:
+                        stats.dtlb_misses += 1
+                    if is_store:
+                        # Stores retire through the store buffer; they do not
+                        # stall the one-IPC core.
+                        stats.committed_stores += 1
+                    else:
+                        stats.committed_loads += 1
+                        penalty += result.penalty
+                        if result.long_latency:
+                            stats.long_latency_loads += 1
+            # else: serializing — fetch-only under one-IPC semantics.
+
+            instr_count += 1
+            pos += 1
+            sim_time += 1 + penalty
+            if pos >= n:
+                break
+
+        self._store_kernel_state(pos, fetch_limit, sim_time, instr_count)
+        if pos >= n and not self.finished:
             self._finish()
 
-    def _handle_sync(self, instruction: Instruction) -> bool:
-        """Interpret a synchronization pseudo-instruction (same as interval)."""
-        if self.sync is None or self._thread_id is None:
-            return True
-        if instruction.sync == SyncKind.BARRIER:
-            if self._waiting_barrier != instruction.sync_object:
-                self.sync.barrier_arrive(self._thread_id, instruction.sync_object)
-                self._waiting_barrier = instruction.sync_object
-                self.stats.barrier_waits += 1
-            if self.sync.barrier_released(instruction.sync_object):
-                self._waiting_barrier = None
-                return True
-            return False
-        if instruction.sync == SyncKind.LOCK_ACQUIRE:
-            if self.sync.lock_try_acquire(self._thread_id, instruction.sync_object):
-                self.stats.lock_acquisitions += 1
-                return True
-            self.stats.lock_contended += 1
-            return False
-        if instruction.sync == SyncKind.LOCK_RELEASE:
-            if self.sync.lock_holder(instruction.sync_object) == self._thread_id:
-                self.sync.lock_release(self._thread_id, instruction.sync_object)
-            return True
-        return True
+    # -- kernel bookkeeping --------------------------------------------------------
 
-    def _finish(self) -> None:
-        """Record completion of this core's trace."""
-        if self.finished:
-            return
-        self.finished = True
-        self.stats.cycles = self.sim_time
-        if self.sync is not None and self._thread_id is not None:
-            self.sync.thread_finished(self._thread_id)
+    def _store_kernel_state(
+        self, pos: int, fetch_limit: int, sim_time: int, instructions: int
+    ) -> None:
+        """Write the kernel's loop-local state back onto the core objects."""
+        self._head = pos
+        self._fetch_limit = fetch_limit
+        self.sim_time = sim_time
+        self.stats.instructions = instructions
+        cursor = self._cursor
+        if cursor is not None and cursor.position < pos:
+            cursor.advance_to(pos)
 
 
 class OneIPCSimulator(MulticoreSimulator):

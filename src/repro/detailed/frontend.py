@@ -14,20 +14,36 @@ The Table-1 baseline has an 8-wide fetch, a 16-entry fetch queue and a
   assumes (branch resolution time + front-end pipeline depth);
 * delivers instructions to dispatch only after they have spent
   ``frontend_pipeline_depth`` cycles in the front end.
+
+The fetch engine runs on the columnar view of the bound trace
+(:class:`~repro.trace.columnar.TraceBatch`): fetch addresses are read from
+the ``pc`` column and verified interval-at-a-time through the hierarchy's
+batched probe (:meth:`~repro.memory.hierarchy.MemoryHierarchy.access_block`),
+which commits the fetch hit path for every upcoming instruction up to the
+next I-side *miss* — sound because a fetch hit touches only this core's
+private L1i/I-TLB, so committing the hits early preserves each structure's
+access sequence exactly.  The miss itself is completed at the cycle the
+per-instruction loop would have reached it, and is retried after the miss
+latency exactly like the reference formulation (the retry counts a second,
+hitting access).  :class:`~repro.common.isa.Instruction` objects still flow
+through the fetch queue — the back end's ROB genuinely needs them.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from ..branch import BranchPredictor
 from ..common.config import CoreConfig
+from ..common.isa import Instruction, InstructionClass
 from ..common.stats import CoreStats
 from ..memory.hierarchy import MemoryHierarchy
 from ..trace.stream import TraceCursor
 
 __all__ = ["FrontEnd"]
+
+_BRANCH = int(InstructionClass.BRANCH)
 
 
 class FrontEnd:
@@ -47,9 +63,9 @@ class FrontEnd:
         self.predictor = predictor
         self.stats = stats
         self._cursor: Optional[TraceCursor] = None
-        # Entries are (instruction, cycle at which dispatch may consume it,
-        # predicted_correctly flag for branches).
-        self._queue: Deque[Tuple[object, int, bool]] = deque()
+        # Entries are (instruction, its class code, cycle at which dispatch
+        # may consume it, predicted_correctly flag for branches).
+        self._queue: Deque[Tuple[Instruction, int, int, bool]] = deque()
         # The buffer models the fetch queue plus the instructions held in the
         # front-end pipeline stages themselves; without the pipeline-register
         # capacity the 7-cycle front end could never sustain the dispatch
@@ -60,10 +76,25 @@ class FrontEnd:
         )
         self._fetch_ready_cycle = 0
         self._redirect_pending = False
+        # Columnar view of the bound trace, set in bind().
+        self._pcs: List[int] = []
+        self._klass: List[int] = []
+        self._instructions: List[Instruction] = []
+        self._length = 0
+        # Exclusive end of the verified-fetch run: positions below it have
+        # already performed their (hitting) fetch through the batched probe.
+        self._fetch_limit = 0
 
     def bind(self, cursor: TraceCursor) -> None:
         """Attach the functional instruction stream."""
         self._cursor = cursor
+        batch = cursor.trace.batch()
+        self._pcs = batch.pc
+        self._klass = batch.klass
+        self._instructions = batch.instructions
+        self._length = batch.length
+        # The cursor position accounts for any functionally-warmed prefix.
+        self._fetch_limit = cursor.position
 
     # -- state queries -------------------------------------------------------------
 
@@ -75,9 +106,10 @@ class FrontEnd:
     @property
     def exhausted(self) -> bool:
         """``True`` when the stream is consumed and the queue has drained."""
+        cursor = self._cursor
         return (
-            self._cursor is not None
-            and self._cursor.exhausted
+            cursor is not None
+            and cursor.position >= self._length
             and not self._queue
         )
 
@@ -90,58 +122,83 @@ class FrontEnd:
 
     def fetch_cycle(self, cycle: int) -> None:
         """Fetch up to ``fetch_width`` instructions in ``cycle``."""
-        if self._cursor is None or self._redirect_pending:
+        cursor = self._cursor
+        if cursor is None or self._redirect_pending:
             return
         if cycle < self._fetch_ready_cycle:
             return
+        queue = self._queue
+        stats = self.stats
+        pcs = self._pcs
+        klass = self._klass
+        instructions = self._instructions
+        n = self._length
+        position = cursor.position
+        fetch_limit = self._fetch_limit
+        fetch_width = self.config.fetch_width
+        fe_depth = self.config.frontend_pipeline_depth
+        capacity = self._capacity
+
         fetched = 0
-        while (
-            fetched < self.config.fetch_width
-            and len(self._queue) < self._capacity
-            and not self._cursor.exhausted
-        ):
-            instruction = self._cursor.peek()
-            assert instruction is not None
+        while fetched < fetch_width and len(queue) < capacity and position < n:
+            if position >= fetch_limit:
+                # One batched probe commits every upcoming fetch hit and
+                # stops at the next I-side miss event.
+                fetch_limit = self.hierarchy.access_block(
+                    self.core_id, pcs, position, n
+                )
+                if fetch_limit == position:
+                    result = self.hierarchy.instruction_probe(
+                        self.core_id, pcs[position], cycle
+                    )
+                    if result is not None:
+                        if result.l1_miss:
+                            stats.icache_misses += 1
+                        if result.tlb_miss:
+                            stats.itlb_misses += 1
+                        # Fetch of this instruction (and everything after it)
+                        # is delayed by the miss; retry once the line has
+                        # arrived (the retry re-verifies the now-hitting
+                        # fetch through the batched probe).
+                        self._fetch_ready_cycle = cycle + result.penalty
+                        break
+                    fetch_limit = position + 1
 
-            # Instruction cache / I-TLB access at fetch.
-            result = self.hierarchy.instruction_access(
-                self.core_id, instruction.pc, now=cycle
-            )
-            if result.l1_miss or result.tlb_miss:
-                if result.l1_miss:
-                    self.stats.icache_misses += 1
-                if result.tlb_miss:
-                    self.stats.itlb_misses += 1
-                # Fetch of this instruction (and everything after it) is
-                # delayed by the miss; retry once the line has arrived.
-                self._fetch_ready_cycle = cycle + result.penalty
-                break
-
-            self._cursor.next()
+            kcode = klass[position]
+            instruction = instructions[position]
+            position += 1
             predicted_correctly = True
-            if instruction.is_branch:
-                self.stats.branch_lookups += 1
+            if kcode == _BRANCH:
+                stats.branch_lookups += 1
                 predicted_correctly = self.predictor.access(instruction)
                 if not predicted_correctly:
-                    self.stats.branch_mispredictions += 1
+                    stats.branch_mispredictions += 1
 
-            dispatch_ready = cycle + self.config.frontend_pipeline_depth
-            self._queue.append((instruction, dispatch_ready, predicted_correctly))
+            queue.append(
+                (instruction, kcode, cycle + fe_depth, predicted_correctly)
+            )
             fetched += 1
 
-            if instruction.is_branch and not predicted_correctly:
+            if not predicted_correctly:
                 # Stop fetching until the branch resolves at execute.
                 self._redirect_pending = True
                 break
 
+        self._fetch_limit = fetch_limit
+        if position > cursor.position:
+            cursor.advance_to(position)
+
     def peek_dispatchable(self, cycle: int):
-        """Return the oldest instruction ready for dispatch in ``cycle``."""
+        """Return the oldest instruction ready for dispatch in ``cycle``.
+
+        Yields ``(instruction, klass_code, predicted_correctly)`` or ``None``.
+        """
         if not self._queue:
             return None
-        instruction, dispatch_ready, predicted_correctly = self._queue[0]
+        instruction, kcode, dispatch_ready, predicted_correctly = self._queue[0]
         if dispatch_ready > cycle:
             return None
-        return instruction, predicted_correctly
+        return instruction, kcode, predicted_correctly
 
     def pop_dispatchable(self) -> None:
         """Consume the instruction returned by :meth:`peek_dispatchable`."""

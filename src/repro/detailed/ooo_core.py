@@ -45,6 +45,13 @@ from .structures import (
 
 __all__ = ["DetailedCore"]
 
+# Instruction-class codes, hoisted so the stage loops compare plain ints
+# (the front end delivers each instruction's code alongside the object).
+_LOAD = int(InstructionClass.LOAD)
+_STORE = int(InstructionClass.STORE)
+_SERIALIZING = int(InstructionClass.SERIALIZING)
+_SYNC = int(InstructionClass.SYNC)
+
 
 class DetailedCore(CoreModel):
     """Cycle-level out-of-order core (the detailed reference model)."""
@@ -76,6 +83,8 @@ class DetailedCore(CoreModel):
         self._waiting_barrier: Optional[int] = None
         self._completion_heap: List[int] = []
         self._issue_scan_needed = True
+        self._l1d_hit_latency = config.memory.l1d.hit_latency
+        self._lat: List[int] = []
 
     # -- CoreModel interface -----------------------------------------------------
 
@@ -84,6 +93,10 @@ class DetailedCore(CoreModel):
         self.frontend.bind(cursor)
         self._cursor = cursor  # kept for the has_thread property
         self._thread_id = thread_id
+        # Per-class execution latencies resolved once, indexed by class code.
+        self._lat = cursor.trace.batch().latency_table(
+            self.core_config.execution_latencies
+        )
 
     def simulate_cycle(self, multi_core_time: int) -> None:
         """Simulate one clock cycle: commit, issue, dispatch, fetch."""
@@ -108,6 +121,7 @@ class DetailedCore(CoreModel):
     def _commit_stage(self, now: int) -> None:
         """Retire up to ``commit_width`` completed instructions in order."""
         committed = 0
+        stats = self.stats
         while committed < self.core_config.commit_width:
             entry = self.rob.head()
             if (
@@ -118,34 +132,40 @@ class DetailedCore(CoreModel):
             ):
                 break
             instruction = entry.instruction
-            if instruction.is_store:
+            kcode = entry.kcode
+            is_memory = kcode == _LOAD or kcode == _STORE
+            if kcode == _STORE:
                 if self.store_buffer.is_full(now):
                     break
                 # The store's memory access happens as it drains from the
                 # store buffer; the access updates the caches and coherence
                 # state shared with the other cores.
-                result = self.hierarchy.data_access(
-                    self.core_id, instruction.mem_addr or 0, is_write=True, now=now
+                result = self.hierarchy.data_probe(
+                    self.core_id, instruction.mem_addr or 0, True, now
                 )
-                self.stats.dcache_accesses += 1
-                if result.l1_miss:
-                    self.stats.l1d_misses += 1
-                if result.tlb_miss:
-                    self.stats.dtlb_misses += 1
-                self.store_buffer.push(now + result.total_latency)
-                self.stats.committed_stores += 1
+                stats.dcache_accesses += 1
+                if result is None:
+                    # Penalty-free hit: the write drains at the hit latency.
+                    self.store_buffer.push(now + self._l1d_hit_latency)
+                else:
+                    if result.l1_miss:
+                        stats.l1d_misses += 1
+                    if result.tlb_miss:
+                        stats.dtlb_misses += 1
+                    self.store_buffer.push(now + result.total_latency)
+                stats.committed_stores += 1
             self.rob.pop_head()
-            if instruction.is_memory:
+            if is_memory:
                 self.lsq.release()
-            if instruction.is_load:
-                self.stats.committed_loads += 1
+                if kcode == _LOAD:
+                    stats.committed_loads += 1
             if self._serializing_in_flight is entry:
                 self._serializing_in_flight = None
             if self._register_producers.get(instruction.dst_reg) is entry:
                 # The committed value now lives in the architectural register
                 # file; later consumers are trivially ready.
                 del self._register_producers[instruction.dst_reg]
-            self.stats.instructions += 1
+            stats.instructions += 1
             committed += 1
 
     # -- issue ----------------------------------------------------------------------
@@ -173,7 +193,7 @@ class DetailedCore(CoreModel):
                 break
             if not self._operands_ready(entry, now):
                 continue
-            if not self.fu_pool.try_acquire(entry.instruction.klass, now):
+            if not self.fu_pool.try_acquire(entry.kcode, now):
                 blocked_by_resources = True
                 continue
             self._issue_entry(entry, now)
@@ -195,23 +215,28 @@ class DetailedCore(CoreModel):
     def _issue_entry(self, entry: RobEntry, now: int) -> None:
         """Issue one instruction: access memory if needed, schedule completion."""
         instruction = entry.instruction
-        latency = instruction.base_latency(self.core_config.execution_latencies)
+        kcode = entry.kcode
+        latency = self._lat[kcode]
 
-        if instruction.is_load:
+        if kcode == _LOAD:
             assert instruction.mem_addr is not None
-            result = self.hierarchy.data_access(
-                self.core_id, instruction.mem_addr, is_write=False, now=now
+            result = self.hierarchy.data_probe(
+                self.core_id, instruction.mem_addr, False, now
             )
             self.stats.dcache_accesses += 1
-            if result.l1_miss:
-                self.stats.l1d_misses += 1
-            if result.tlb_miss:
-                self.stats.dtlb_misses += 1
-            if result.long_latency:
-                self.stats.long_latency_loads += 1
-            latency = max(latency, result.total_latency)
-            entry.memory_penalty = result.penalty
-        elif instruction.is_store:
+            if result is None:
+                # Penalty-free hit: the load completes at the hit latency.
+                latency = max(latency, self._l1d_hit_latency)
+            else:
+                if result.l1_miss:
+                    self.stats.l1d_misses += 1
+                if result.tlb_miss:
+                    self.stats.dtlb_misses += 1
+                if result.long_latency:
+                    self.stats.long_latency_loads += 1
+                latency = max(latency, result.total_latency)
+                entry.memory_penalty = result.penalty
+        elif kcode == _STORE:
             # Address generation only; the write happens at commit.
             latency = 1
 
@@ -244,9 +269,9 @@ class DetailedCore(CoreModel):
             peeked = self.frontend.peek_dispatchable(now)
             if peeked is None:
                 break
-            instruction, predicted_correctly = peeked
+            instruction, kcode, predicted_correctly = peeked
 
-            if instruction.is_sync:
+            if kcode == _SYNC:
                 if not self.rob.is_empty:
                     break
                 if not self._handle_sync(instruction):
@@ -257,41 +282,47 @@ class DetailedCore(CoreModel):
                 dispatched += 1
                 continue
 
-            if instruction.is_serializing and not self.rob.is_empty:
+            if kcode == _SERIALIZING and not self.rob.is_empty:
                 # Serializing instructions wait for the window to drain.
                 break
-            if instruction.is_memory and self.lsq.is_full:
+            is_memory = kcode == _LOAD or kcode == _STORE
+            if is_memory and self.lsq.is_full:
                 self.stats.dispatch_stall_cycles += 1
                 break
 
             self.frontend.pop_dispatchable()
-            entry = self._allocate_entry(instruction, now)
-            entry.mispredicted = instruction.is_branch and not predicted_correctly
-            if instruction.is_serializing:
+            entry = self._allocate_entry(instruction, kcode, is_memory, now)
+            entry.mispredicted = not predicted_correctly
+            if kcode == _SERIALIZING:
                 self._serializing_in_flight = entry
                 self.stats.serializing_instructions += 1
             dispatched += 1
         self._issue_scan_needed = self._issue_scan_needed or dispatched > 0
 
-    def _allocate_entry(self, instruction: Instruction, now: int) -> RobEntry:
+    def _allocate_entry(
+        self, instruction: Instruction, kcode: int, is_memory: bool, now: int
+    ) -> RobEntry:
         """Create a ROB entry, snapshot its producers, allocate resources."""
         producers = []
+        register_producers = self._register_producers
         for register in instruction.src_regs:
-            producer = self._register_producers.get(register)
+            producer = register_producers.get(register)
             if producer is not None and not (
                 producer.issued
                 and producer.complete_cycle is not None
                 and producer.complete_cycle <= now
             ):
                 producers.append(producer)
-        entry = RobEntry(instruction, dispatch_cycle=now, ready_cycle=now + 1)
+        entry = RobEntry(
+            instruction, dispatch_cycle=now, ready_cycle=now + 1, kcode=kcode
+        )
         entry.producers = producers
         self.rob.append(entry)
         self._unissued_count += 1
-        if instruction.is_memory:
+        if is_memory:
             self.lsq.allocate()
         if instruction.dst_reg is not None:
-            self._register_producers[instruction.dst_reg] = entry
+            register_producers[instruction.dst_reg] = entry
         return entry
 
     # -- synchronization -------------------------------------------------------------

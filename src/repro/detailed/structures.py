@@ -36,6 +36,7 @@ class RobEntry:
 
     __slots__ = (
         "instruction",
+        "kcode",
         "dispatch_cycle",
         "ready_cycle",
         "issue_cycle",
@@ -47,8 +48,18 @@ class RobEntry:
         "producers",
     )
 
-    def __init__(self, instruction: Instruction, dispatch_cycle: int, ready_cycle: int) -> None:
+    def __init__(
+        self,
+        instruction: Instruction,
+        dispatch_cycle: int,
+        ready_cycle: int,
+        kcode: Optional[int] = None,
+    ) -> None:
         self.instruction = instruction
+        # The instruction-class code, passed in by columnar callers (the
+        # dispatch stage reads it off the trace batch) so the stage loops
+        # compare plain ints instead of walking enum property descriptors.
+        self.kcode = int(instruction.klass) if kcode is None else kcode
         self.dispatch_cycle = dispatch_cycle
         self.ready_cycle = ready_cycle
         self.issue_cycle: Optional[int] = None
@@ -125,6 +136,19 @@ class ReorderBuffer:
                 yield entry
 
 
+#: Functional-unit kind per instruction-class code (indexable by either the
+#: enum member or its int code).
+_UNIT_KIND_TABLE = tuple(
+    "mem"
+    if code in (InstructionClass.LOAD, InstructionClass.STORE)
+    else "fp"
+    if code
+    in (InstructionClass.FP_ALU, InstructionClass.FP_MUL, InstructionClass.FP_DIV)
+    else "int"
+    for code in InstructionClass
+)
+
+
 class FunctionalUnitPool:
     """Per-cycle functional-unit availability tracker.
 
@@ -152,20 +176,17 @@ class FunctionalUnitPool:
     @staticmethod
     def unit_kind(klass: InstructionClass) -> str:
         """Map an instruction class to its functional-unit kind."""
-        if klass in (InstructionClass.LOAD, InstructionClass.STORE):
-            return "mem"
-        if klass in (
-            InstructionClass.FP_ALU,
-            InstructionClass.FP_MUL,
-            InstructionClass.FP_DIV,
-        ):
-            return "fp"
-        return "int"
+        return _UNIT_KIND_TABLE[klass]
 
     def try_acquire(self, klass: InstructionClass, cycle: int) -> bool:
-        """Try to claim a functional unit for ``klass`` in ``cycle``."""
+        """Try to claim a functional unit for ``klass`` in ``cycle``.
+
+        ``klass`` may be the :class:`~repro.common.isa.InstructionClass`
+        member or its plain ``int`` code (the columnar stage loops pass the
+        code).
+        """
         self._roll(cycle)
-        kind = self.unit_kind(klass)
+        kind = _UNIT_KIND_TABLE[klass]
         if kind == "mem":
             if self._used_mem < self.config.load_store_units:
                 self._used_mem += 1

@@ -187,26 +187,60 @@ class SetAssociativeCache:
         entry_set = self._sets[index]
         if entry_set is None:
             entry_set = self._sets[index] = []
-        for position, line in enumerate(entry_set):
+        # One pass resolves both questions: an existing (possibly invalid)
+        # line with this tag, and otherwise the first invalid line to reuse.
+        invalid_at = -1
+        last = len(entry_set) - 1
+        for position in range(last + 1):
+            line = entry_set[position]
             if line.tag == tag:
                 # Refill of an existing (possibly invalid) line.
                 line.state = state
-                if position != len(entry_set) - 1:
+                if position != last:
                     entry_set.append(entry_set.pop(position))
                 return None
+            if invalid_at < 0 and not line.state:
+                invalid_at = position
         victim: Optional[CacheLine] = None
-        if len(entry_set) >= self.config.associativity:
+        if last + 1 >= self.config.associativity:
             # Prefer evicting an invalid line.
-            for position, line in enumerate(entry_set):
-                if not line.state:
-                    entry_set.pop(position)
-                    break
+            if invalid_at >= 0:
+                entry_set.pop(invalid_at)
             else:
                 victim = entry_set.pop(0)
                 self.stats.evictions += 1
                 # Dirty (Modified/Owned) states sort above the clean ones.
                 if victim.state >= CoherenceState.OWNED:
                     self.stats.writebacks += 1
+        entry_set.append(CacheLine(tag=tag, state=state))
+        return victim
+
+    def fill_cold(
+        self, address: int, state: CoherenceState = CoherenceState.EXCLUSIVE
+    ) -> Optional[CacheLine]:
+        """:meth:`fill` for a cache that can hold neither the tag nor invalid
+        lines.
+
+        Callers must have just verified the miss (so no *valid* same-tag line
+        exists) on a cache whose lines are never invalidated or mutated
+        behind its back — the I-side caches and the shared L2 (coherence only
+        touches the L1 data caches), and the L1d itself when no other cache
+        can snoop it.  Under that invariant the same-tag/invalid scans of
+        :meth:`fill` are dead code and the fill is a straight evict-append.
+        """
+        block = address >> self._offset_bits
+        tag = block // self._num_sets
+        index = block % self._num_sets
+        entry_set = self._sets[index]
+        if entry_set is None:
+            entry_set = self._sets[index] = []
+        victim: Optional[CacheLine] = None
+        if len(entry_set) >= self.config.associativity:
+            victim = entry_set.pop(0)
+            self.stats.evictions += 1
+            # Dirty (Modified/Owned) states sort above the clean ones.
+            if victim.state >= CoherenceState.OWNED:
+                self.stats.writebacks += 1
         entry_set.append(CacheLine(tag=tag, state=state))
         return victim
 

@@ -82,12 +82,22 @@ class CoherenceController:
         self,
         l1d_caches: Sequence[SetAssociativeCache],
         protocol: str = "MOESI",
+        epochs: Optional[List[int]] = None,
     ) -> None:
         if protocol not in ("MOESI", "MESI", "MSI", "NONE"):
             raise ValueError(f"unsupported coherence protocol: {protocol!r}")
         self._caches: List[SetAssociativeCache] = list(l1d_caches)
         self.protocol = protocol
         self.stats = CoherenceStats()
+        # Per-core coherence epochs, shared with the hierarchy when provided:
+        # epochs[r] is bumped whenever this controller mutates core r's L1d
+        # behind that core's back (snoop invalidation or downgrade), which
+        # invalidates any memo core r holds of its own L1d state (the
+        # hierarchy's D-side fast path checks the epoch before trusting its
+        # memo).
+        self.epochs: List[int] = (
+            epochs if epochs is not None else [0] * len(self._caches)
+        )
         # With a single cache (or no protocol) every snoop trivially finds no
         # remote sharers; requests then return a shared, never-mutated result
         # instead of allocating one per miss.
@@ -113,6 +123,7 @@ class CoherenceController:
         self.stats.read_requests += 1
         if self._trivial:
             return _NO_SNOOP
+        epochs = self.epochs
         result = SnoopResult()
         for remote_id, cache in enumerate(self._caches):
             if remote_id == core_id:
@@ -125,6 +136,7 @@ class CoherenceController:
                 result.supplied_by_cache = True
                 result.supplier_core = remote_id
                 self.stats.cache_to_cache_transfers += 1
+                epochs[remote_id] += 1
                 if self.protocol == "MOESI":
                     # Dirty suppliers keep ownership (O); clean ones become S.
                     if line.state == CoherenceState.MODIFIED:
@@ -140,6 +152,7 @@ class CoherenceController:
                     line.state = CoherenceState.SHARED
             elif line.state == CoherenceState.EXCLUSIVE:
                 line.state = CoherenceState.SHARED
+                epochs[remote_id] += 1
         return result
 
     def write_request(
@@ -157,6 +170,7 @@ class CoherenceController:
             self.stats.upgrades += 1
         if self._trivial:
             return _NO_SNOOP
+        epochs = self.epochs
         result = SnoopResult()
         for remote_id, cache in enumerate(self._caches):
             if remote_id == core_id:
@@ -171,6 +185,7 @@ class CoherenceController:
                 result.supplier_core = remote_id
                 self.stats.cache_to_cache_transfers += 1
             cache.invalidate_line(line_address)
+            epochs[remote_id] += 1
             result.invalidations += 1
             self.stats.invalidations_sent += 1
         return result

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..common.config import MachineConfig, MemoryConfig, PerfectStructures
 from .cache import CoherenceState, SetAssociativeCache
-from .coherence import CoherenceController
+from .coherence import CoherenceController, SnoopResult
 from .dram import MainMemory
 from .tlb import TLB
 
@@ -40,6 +40,12 @@ __all__ = ["AccessResult", "MemoryHierarchy"]
 
 #: Extra bus/interconnect cycles for a cache-to-cache transfer between cores.
 _CACHE_TO_CACHE_OVERHEAD = 8
+
+# Coherence states hoisted so the data hot path compares plain ints.
+_ST_SHARED = CoherenceState.SHARED
+_ST_EXCLUSIVE = CoherenceState.EXCLUSIVE
+_ST_OWNED = CoherenceState.OWNED
+_ST_MODIFIED = CoherenceState.MODIFIED
 
 
 @dataclass(slots=True)
@@ -128,7 +134,16 @@ class MemoryHierarchy:
             if memory.l2 is not None
             else None
         )
-        self.coherence = CoherenceController(self.l1d, memory.coherence_protocol)
+        # Per-core L1d coherence epochs: bumped by the coherence controller
+        # whenever a *remote* request invalidates or downgrades a line in
+        # that core's L1d.  The D-side memo below is only trusted while the
+        # owning core's epoch is unchanged, which is what makes the memo
+        # sound under coherence (the I-side commute argument does not
+        # transfer to the data side — remote cores mutate L1d state).
+        self._l1d_epoch: List[int] = [0] * num_cores
+        self.coherence = CoherenceController(
+            self.l1d, memory.coherence_protocol, epochs=self._l1d_epoch
+        )
         self.dram = MainMemory(memory, line_size=memory.l1d.line_size)
 
         # Hot-path constants, hoisted out of the per-access attribute chains.
@@ -155,6 +170,41 @@ class MemoryHierarchy:
         self._itlb_page_shift = memory.itlb.page_size.bit_length() - 1
         self._fetch_memo_block: List[int] = [-1] * num_cores
         self._fetch_memo_page: List[int] = [-1] * num_cores
+        # With the (universal) geometry of lines no larger than pages, two
+        # fetches to the same I-cache line are necessarily on the same I-TLB
+        # page, so the memo-hit test reduces to the block compare alone.
+        self._fetch_block_implies_page = (
+            self._itlb_page_shift >= self._l1i_offset_bits
+        )
+
+        # Data fast-path state (see data_probe): per-core memo of the most
+        # recently accessed (L1d line, D-TLB page), the coherence epoch at
+        # memo time and whether the memoized line was left in Modified state
+        # (the only state in which a repeat *store* is penalty-free with no
+        # state transition).  A repeat access to the same line+page while the
+        # epoch is unchanged is by construction a hit on the MRU way of both
+        # structures, so the probe reduces to two counter increments.  The
+        # memo is maintained exclusively by data_probe; callers that mutate
+        # ``l1d``/``dtlb`` behind the hierarchy's back (e.g. a manual
+        # ``flush()``) must call :meth:`reset_data_memo`.
+        self._dtlb_page_shift = memory.dtlb.page_size.bit_length() - 1
+        self._data_memo_block: List[int] = [-1] * num_cores
+        self._data_memo_page: List[int] = [-1] * num_cores
+        self._data_memo_epoch: List[int] = [-1] * num_cores
+        self._data_memo_writable: List[bool] = [False] * num_cores
+        self._data_block_implies_page = (
+            self._dtlb_page_shift >= self._l1d_offset_bits
+        )
+
+        # More hot-path constants: with a single coherent cache (or protocol
+        # "NONE") every snoop trivially finds no remote sharers, so the data
+        # path can skip the controller round trip and install the
+        # no-remote-sharers state directly (keeping the controller's request
+        # counters identical).
+        self._trivial_snoop = self.coherence._trivial
+        self._read_install_state = self.coherence.requester_read_state(
+            SnoopResult()
+        )
 
     @property
     def num_cores(self) -> int:
@@ -194,12 +244,11 @@ class MemoryHierarchy:
 
         if not perfect_itlb and not perfect_l1i:
             # Full model: memoized fast path for a repeat fetch of the MRU
-            # line and page — two hits whose LRU updates are no-ops.
-            block = pc >> self._l1i_offset_bits
-            page = pc >> self._itlb_page_shift
-            if (
-                block == self._fetch_memo_block[core_id]
-                and page == self._fetch_memo_page[core_id]
+            # line (same line implies same page) — two hits whose LRU updates
+            # are no-ops.
+            if pc >> self._l1i_offset_bits == self._fetch_memo_block[core_id] and (
+                self._fetch_block_implies_page
+                or pc >> self._itlb_page_shift == self._fetch_memo_page[core_id]
             ):
                 self.itlb[core_id].stats.accesses += 1
                 self.l1i[core_id].stats.accesses += 1
@@ -212,7 +261,7 @@ class MemoryHierarchy:
         if perfect_l1i:
             if not tlb_missed:
                 return None
-            result = AccessResult(hit_latency=self._l1i_hit_latency)
+            result = AccessResult(self._l1i_hit_latency)
             result.tlb_miss = True
             result.penalty = self._itlb_miss_latency
             return result
@@ -226,12 +275,12 @@ class MemoryHierarchy:
                 self._fetch_memo_page[core_id] = pc >> self._itlb_page_shift
             if not tlb_missed:
                 return None
-            result = AccessResult(hit_latency=self._l1i_hit_latency)
+            result = AccessResult(self._l1i_hit_latency)
             result.tlb_miss = True
             result.penalty = self._itlb_miss_latency
             return result
 
-        result = AccessResult(hit_latency=self._l1i_hit_latency)
+        result = AccessResult(self._l1i_hit_latency)
         if tlb_missed:
             result.tlb_miss = True
             result.penalty = self._itlb_miss_latency
@@ -239,7 +288,7 @@ class MemoryHierarchy:
         result.penalty += self._fill_from_shared_levels(
             core_id, pc, now, result, is_instruction=True
         )
-        cache.fill(pc, CoherenceState.EXCLUSIVE)
+        cache.fill_cold(pc, CoherenceState.EXCLUSIVE)
         if not perfect_itlb:
             self._fetch_memo_block[core_id] = pc >> self._l1i_offset_bits
             self._fetch_memo_page[core_id] = pc >> self._itlb_page_shift
@@ -290,27 +339,71 @@ class MemoryHierarchy:
         if check_tlb and check_l1:
             last_block = memo_block[core_id]
             last_page = memo_page[core_id]
-            while index < stop:
-                if flags is not None and flags[index] & flag_mask:
+            # Memo-path hits are counted locally and flushed once per block
+            # (totals are only observed between hierarchy calls).  The
+            # flag-free caller (no sync positions in range) gets a loop
+            # without the per-position flag test.
+            memo_hits = 0
+            if not self._fetch_block_implies_page:
+                # Degenerate geometry (lines larger than pages): the memo-hit
+                # test needs the page compare as well.
+                while index < stop:
+                    if flags is not None and flags[index] & flag_mask:
+                        index += 1
+                        continue
+                    pc = addresses[index]
+                    block = pc >> offset_bits
+                    page = pc >> page_shift
+                    if block == last_block and page == last_page:
+                        memo_hits += 1
+                        index += 1
+                        continue
+                    if not tlb.probe(pc) or cache.probe(pc) is None:
+                        break
+                    tlb.access(pc)
+                    cache.lookup(pc)
+                    last_block = block
+                    last_page = page
                     index += 1
-                    continue
-                pc = addresses[index]
-                block = pc >> offset_bits
-                page = pc >> page_shift
-                if block == last_block and page == last_page:
-                    tlb_stats.accesses += 1
-                    cache_stats.accesses += 1
+            elif flags is None:
+                while index < stop:
+                    pc = addresses[index]
+                    block = pc >> offset_bits
+                    if block == last_block:
+                        memo_hits += 1
+                        index += 1
+                        continue
+                    # Transition to a new line/page: peek both structures
+                    # first so a would-miss access leaves no trace for the
+                    # caller to redo.
+                    if not tlb.probe(pc) or cache.probe(pc) is None:
+                        break
+                    tlb.access(pc)
+                    cache.lookup(pc)
+                    last_block = block
+                    last_page = pc >> page_shift
                     index += 1
-                    continue
-                # Transition to a new line/page: peek both structures first so
-                # a would-miss access leaves no trace for the caller to redo.
-                if not tlb.probe(pc) or cache.probe(pc) is None:
-                    break
-                tlb.access(pc)
-                cache.lookup(pc)
-                last_block = block
-                last_page = page
-                index += 1
+            else:
+                while index < stop:
+                    if flags[index] & flag_mask:
+                        index += 1
+                        continue
+                    pc = addresses[index]
+                    block = pc >> offset_bits
+                    if block == last_block:
+                        memo_hits += 1
+                        index += 1
+                        continue
+                    if not tlb.probe(pc) or cache.probe(pc) is None:
+                        break
+                    tlb.access(pc)
+                    cache.lookup(pc)
+                    last_block = block
+                    last_page = pc >> page_shift
+                    index += 1
+            if memo_hits:
+                tlb_stats.accesses += memo_hits
+                cache_stats.accesses += memo_hits
             memo_block[core_id] = last_block
             memo_page[core_id] = last_page
             return index
@@ -358,26 +451,30 @@ class MemoryHierarchy:
         full_model = not self._perfect_itlb and not self._perfect_l1i
         if full_model:
             # Inline the MRU line/page memo so repeat fetches cost only the
-            # counter updates (the dominant case inside a warmed block).
+            # counter updates (the dominant case inside a warmed block);
+            # memo-path hits are flushed to the counters once per block.
             tlb_stats = self.itlb[core_id].stats
             cache_stats = self.l1i[core_id].stats
             memo_block = self._fetch_memo_block
             memo_page = self._fetch_memo_page
             offset_bits = self._l1i_offset_bits
             page_shift = self._itlb_page_shift
+            memo_hits = 0
+            implies_page = self._fetch_block_implies_page
             for index in range(start, stop):
                 if flags is not None and flags[index] & flag_mask:
                     continue
                 pc = addresses[index]
-                if (
-                    pc >> offset_bits == memo_block[core_id]
-                    and pc >> page_shift == memo_page[core_id]
+                if pc >> offset_bits == memo_block[core_id] and (
+                    implies_page or pc >> page_shift == memo_page[core_id]
                 ):
-                    tlb_stats.accesses += 1
-                    cache_stats.accesses += 1
+                    memo_hits += 1
                 else:
                     probe(core_id, pc, now)
                 performed += 1
+            if memo_hits:
+                tlb_stats.accesses += memo_hits
+                cache_stats.accesses += memo_hits
             return performed
         for index in range(start, stop):
             if flags is not None and flags[index] & flag_mask:
@@ -391,6 +488,14 @@ class MemoryHierarchy:
         num_cores = self.num_cores
         self._fetch_memo_block = [-1] * num_cores
         self._fetch_memo_page = [-1] * num_cores
+
+    def reset_data_memo(self) -> None:
+        """Invalidate the data fast-path memo (after external L1d/D-TLB edits)."""
+        num_cores = self.num_cores
+        self._data_memo_block = [-1] * num_cores
+        self._data_memo_page = [-1] * num_cores
+        self._data_memo_epoch = [-1] * num_cores
+        self._data_memo_writable = [False] * num_cores
 
     # -- data side ----------------------------------------------------------------
 
@@ -419,42 +524,122 @@ class MemoryHierarchy:
         order, statistics, DRAM bus reservations) to :meth:`data_access`, but
         the common hit-without-penalty outcome materializes no
         :class:`AccessResult`.  Assumes a valid ``core_id``.
+
+        Repeat accesses to the most recently touched line take a memoized
+        fast path: both structures hold the line/page as MRU, so the access
+        is two counter increments — but only while this core's coherence
+        epoch is unchanged (no remote invalidation or downgrade has touched
+        its L1d since the memo was written) and, for stores, only when the
+        memoized line was left in Modified state (the one state where a
+        repeat store is penalty-free and transition-free).
         """
+        perfect_dtlb = self._perfect_dtlb
+        full_model = not perfect_dtlb and not self._perfect_l1d
+        block = address >> self._l1d_offset_bits
+        if full_model:
+            # Full model: memoized fast path for a repeat access to the MRU
+            # line (same line implies same page) — two hits whose LRU updates
+            # are no-ops.
+            if (
+                block == self._data_memo_block[core_id]
+                and self._data_memo_epoch[core_id] == self._l1d_epoch[core_id]
+                and (not is_write or self._data_memo_writable[core_id])
+                and (
+                    self._data_block_implies_page
+                    or address >> self._dtlb_page_shift
+                    == self._data_memo_page[core_id]
+                )
+            ):
+                self.dtlb[core_id].stats.accesses += 1
+                self.l1d[core_id].stats.accesses += 1
+                return None
+        page = address >> self._dtlb_page_shift
+
         tlb_missed = False
-        if not self._perfect_dtlb:
-            tlb_missed = not self.dtlb[core_id].access(address)
+        if not perfect_dtlb:
+            # Inlined TLB access (MRU-first scan; a miss installs the page).
+            tlb = self.dtlb[core_id]
+            tlb_stats = tlb.stats
+            tlb_sets = tlb._sets
+            tag = page // tlb._num_sets
+            entry_set = tlb_sets[page % tlb._num_sets]
+            tlb_stats.accesses += 1
+            position = len(entry_set) - 1
+            last = position
+            while position >= 0:
+                if entry_set[position] == tag:
+                    if position != last:
+                        entry_set.append(entry_set.pop(position))
+                    break
+                position -= 1
+            else:
+                tlb_stats.misses += 1
+                entry_set.append(tag)
+                if len(entry_set) > tlb.config.associativity:
+                    entry_set.pop(0)
+                tlb_missed = True
 
         if self._perfect_l1d:
             if not tlb_missed:
                 return None
-            result = AccessResult(hit_latency=self._l1d_hit_latency)
+            result = AccessResult(self._l1d_hit_latency)
             result.tlb_miss = True
             result.penalty = self._dtlb_miss_latency
             return result
 
         cache = self.l1d[core_id]
-        offset_bits = self._l1d_offset_bits
-        line_address = address >> offset_bits << offset_bits
-        line = cache.lookup(line_address)
+        line_address = block << self._l1d_offset_bits
+
+        # Inlined L1d lookup (MRU-first scan, sets keep MRU last).
+        cache_stats = cache.stats
+        cache_stats.accesses += 1
+        line_tag = block // cache._num_sets
+        line_set = cache._sets[block % cache._num_sets]
+        line = None
+        if line_set:
+            position = len(line_set) - 1
+            last = position
+            while position >= 0:
+                candidate = line_set[position]
+                if candidate.tag == line_tag and candidate.state:
+                    if position != last:
+                        line_set.append(line_set.pop(position))
+                    line = candidate
+                    break
+                position -= 1
+
+        trivial_snoop = self._trivial_snoop
+        coh_stats = self.coherence.stats
 
         if line is not None:
             upgrade_penalty = 0
-            if is_write and line.state in (
-                CoherenceState.SHARED,
-                CoherenceState.OWNED,
-            ):
-                # Upgrade: invalidate remote copies before writing.
-                snoop = self.coherence.write_request(
-                    core_id, line_address, already_resident=True
-                )
-                if snoop.invalidations:
-                    upgrade_penalty = _CACHE_TO_CACHE_OVERHEAD
-                line.state = CoherenceState.MODIFIED
-            elif is_write and line.state == CoherenceState.EXCLUSIVE:
-                line.state = CoherenceState.MODIFIED
+            if is_write:
+                state = line.state
+                if state == _ST_SHARED or state == _ST_OWNED:
+                    # Upgrade: invalidate remote copies before writing.
+                    if trivial_snoop:
+                        coh_stats.write_requests += 1
+                        coh_stats.upgrades += 1
+                    else:
+                        snoop = self.coherence.write_request(
+                            core_id, line_address, already_resident=True
+                        )
+                        if snoop.invalidations:
+                            upgrade_penalty = _CACHE_TO_CACHE_OVERHEAD
+                    line.state = _ST_MODIFIED
+                elif state == _ST_EXCLUSIVE:
+                    line.state = _ST_MODIFIED
+            if full_model:
+                # The line (and, after a fill, the page) is now MRU in both
+                # structures; the memo is valid until the next remote
+                # coherence action bumps this core's epoch.
+                self._data_memo_block[core_id] = block
+                self._data_memo_page[core_id] = page
+                self._data_memo_epoch[core_id] = self._l1d_epoch[core_id]
+                self._data_memo_writable[core_id] = line.state == _ST_MODIFIED
             if not tlb_missed and upgrade_penalty == 0:
                 return None
-            result = AccessResult(hit_latency=self._l1d_hit_latency)
+            result = AccessResult(self._l1d_hit_latency)
             if tlb_missed:
                 result.tlb_miss = True
                 result.penalty = self._dtlb_miss_latency
@@ -462,34 +647,167 @@ class MemoryHierarchy:
             return result
 
         # L1 miss: consult the coherence protocol first.
-        result = AccessResult(hit_latency=self._l1d_hit_latency)
+        cache_stats.misses += 1
+        result = AccessResult(self._l1d_hit_latency)
         if tlb_missed:
             result.tlb_miss = True
             result.penalty = self._dtlb_miss_latency
         result.l1_miss = True
-        if is_write:
+        supplied_by_cache = False
+        if trivial_snoop:
+            # No remote sharers possible: skip the controller round trip but
+            # keep its request counters identical.
+            if is_write:
+                coh_stats.write_requests += 1
+                install_state = _ST_MODIFIED
+            else:
+                coh_stats.read_requests += 1
+                install_state = self._read_install_state
+        elif is_write:
             snoop = self.coherence.write_request(
                 core_id, line_address, already_resident=False
             )
-            install_state = self.coherence.requester_write_state()
+            supplied_by_cache = snoop.supplied_by_cache
+            install_state = _ST_MODIFIED
         else:
             snoop = self.coherence.read_request(core_id, line_address)
+            supplied_by_cache = snoop.supplied_by_cache
             install_state = self.coherence.requester_read_state(snoop)
 
-        if snoop.supplied_by_cache:
+        if supplied_by_cache:
             # Cache-to-cache transfer across the on-chip interconnect.
             result.coherence_miss = True
             result.penalty += self._l2_hit_latency + _CACHE_TO_CACHE_OVERHEAD
+        elif self._perfect_l2:
+            result.penalty += self._l2_hit_latency
         else:
-            result.penalty += self._fill_from_shared_levels(
-                core_id, line_address, now, result, is_instruction=False
-            )
+            # Inlined shared-level fill: look up the L2 and, on a miss, go
+            # off-chip (same logic as _fill_from_shared_levels).
+            l2 = self.l2
+            if l2 is not None:
+                if l2.lookup(line_address) is not None:
+                    result.penalty += self._l2_hit_latency
+                else:
+                    result.l2_miss = True
+                    result.penalty += self._l2_hit_latency + self.dram.access(now)
+                    l2.fill_cold(line_address, _ST_EXCLUSIVE)
+            else:
+                # No L2 (3D-stacked configuration): straight to DRAM.
+                result.l2_miss = True
+                result.penalty += self.dram.access(now)
 
-        victim = cache.fill(line_address, install_state)
+        if trivial_snoop:
+            victim = cache.fill_cold(line_address, install_state)
+        else:
+            victim = cache.fill(line_address, install_state)
         # Dirty (Modified/Owned) states sort above the clean ones.
-        if victim is not None and victim.state >= CoherenceState.OWNED:
-            self.coherence.evict_notification(victim.state)
+        if victim is not None and victim.state >= _ST_OWNED:
+            coh_stats.writebacks += 1
+        if full_model:
+            self._data_memo_block[core_id] = block
+            self._data_memo_page[core_id] = page
+            self._data_memo_epoch[core_id] = self._l1d_epoch[core_id]
+            self._data_memo_writable[core_id] = install_state == _ST_MODIFIED
         return result
+
+    def warm_data(self, core_id: int, address: int, is_write: bool) -> None:
+        """Functional-warming data access: state effects only, no timing.
+
+        Performs exactly the cache/TLB/coherence state transitions, LRU
+        updates and statistics of :meth:`data_probe` but materializes no
+        :class:`AccessResult`, computes no penalties and skips the DRAM bus
+        reservation — functional warm-up discards the penalty and resets the
+        DRAM model afterwards (:meth:`MainMemory.reset`), so neither is
+        observable.  ``tests/memory`` pins the state equivalence against
+        :meth:`data_probe`.
+        """
+        perfect_dtlb = self._perfect_dtlb
+        full_model = not perfect_dtlb and not self._perfect_l1d
+        block = address >> self._l1d_offset_bits
+        if full_model:
+            if (
+                block == self._data_memo_block[core_id]
+                and self._data_memo_epoch[core_id] == self._l1d_epoch[core_id]
+                and (not is_write or self._data_memo_writable[core_id])
+                and (
+                    self._data_block_implies_page
+                    or address >> self._dtlb_page_shift
+                    == self._data_memo_page[core_id]
+                )
+            ):
+                self.dtlb[core_id].stats.accesses += 1
+                self.l1d[core_id].stats.accesses += 1
+                return
+        page = address >> self._dtlb_page_shift
+
+        if not perfect_dtlb:
+            self.dtlb[core_id].access(address)
+
+        if self._perfect_l1d:
+            return
+
+        cache = self.l1d[core_id]
+        line_address = block << self._l1d_offset_bits
+        line = cache.lookup(line_address)
+        coh_stats = self.coherence.stats
+        trivial_snoop = self._trivial_snoop
+
+        if line is not None:
+            if is_write:
+                state = line.state
+                if state == _ST_SHARED or state == _ST_OWNED:
+                    if trivial_snoop:
+                        coh_stats.write_requests += 1
+                        coh_stats.upgrades += 1
+                    else:
+                        self.coherence.write_request(
+                            core_id, line_address, already_resident=True
+                        )
+                    line.state = _ST_MODIFIED
+                elif state == _ST_EXCLUSIVE:
+                    line.state = _ST_MODIFIED
+            if full_model:
+                self._data_memo_block[core_id] = block
+                self._data_memo_page[core_id] = page
+                self._data_memo_epoch[core_id] = self._l1d_epoch[core_id]
+                self._data_memo_writable[core_id] = line.state == _ST_MODIFIED
+            return
+
+        supplied_by_cache = False
+        if trivial_snoop:
+            if is_write:
+                coh_stats.write_requests += 1
+                install_state = _ST_MODIFIED
+            else:
+                coh_stats.read_requests += 1
+                install_state = self._read_install_state
+        elif is_write:
+            snoop = self.coherence.write_request(
+                core_id, line_address, already_resident=False
+            )
+            supplied_by_cache = snoop.supplied_by_cache
+            install_state = _ST_MODIFIED
+        else:
+            snoop = self.coherence.read_request(core_id, line_address)
+            supplied_by_cache = snoop.supplied_by_cache
+            install_state = self.coherence.requester_read_state(snoop)
+
+        if not supplied_by_cache and not self._perfect_l2:
+            l2 = self.l2
+            if l2 is not None and l2.lookup(line_address) is None:
+                l2.fill_cold(line_address, _ST_EXCLUSIVE)
+
+        if trivial_snoop:
+            victim = cache.fill_cold(line_address, install_state)
+        else:
+            victim = cache.fill(line_address, install_state)
+        if victim is not None and victim.state >= _ST_OWNED:
+            coh_stats.writebacks += 1
+        if full_model:
+            self._data_memo_block[core_id] = block
+            self._data_memo_page[core_id] = page
+            self._data_memo_epoch[core_id] = self._l1d_epoch[core_id]
+            self._data_memo_writable[core_id] = install_state == _ST_MODIFIED
 
     # -- shared levels -------------------------------------------------------------
 
@@ -517,7 +835,7 @@ class MemoryHierarchy:
             # L2 miss: go off-chip, then fill the L2.
             result.l2_miss = True
             dram_latency = self.dram.access(now)
-            l2.fill(line_address, CoherenceState.EXCLUSIVE)
+            l2.fill_cold(line_address, CoherenceState.EXCLUSIVE)
             return self._l2_hit_latency + dram_latency
 
         # No L2 (Figure-8 3D-stacked configuration): straight to DRAM.

@@ -25,7 +25,7 @@ from ..common.config import MachineConfig
 from ..common.isa import InstructionClass, SyncKind
 from ..common.stats import CoreStats, SimulationStats, Stopwatch
 from ..memory.hierarchy import MemoryHierarchy
-from ..trace.columnar import FLAG_NO_FETCH
+from ..trace.columnar import FLAG_NO_FETCH, KLASS_PLAIN
 from ..trace.stream import TraceCursor, Workload
 from .sync import SynchronizationManager
 
@@ -288,12 +288,16 @@ class MulticoreSimulator(abc.ABC):
         DRAM bus).
         """
         assert workload.core_assignment is not None
-        chunk = 256
+        # Round-robin chunking only matters when several threads interleave
+        # their warm-up traffic in the shared levels; a lone thread warms its
+        # whole prefix in one pass.
+        chunk = 256 if len(cursors) > 1 else max(256, warmup_instructions)
         barrier_kind = int(SyncKind.BARRIER)
         sync_code = int(InstructionClass.SYNC)
         load_code = int(InstructionClass.LOAD)
         store_code = int(InstructionClass.STORE)
         branch_code = int(InstructionClass.BRANCH)
+        plain = KLASS_PLAIN
         # Never let warm-up consume more than half of a thread's trace: the
         # timed region must retain a meaningful instruction count even when
         # the workload splits its work across many short per-thread traces.
@@ -317,7 +321,8 @@ class MulticoreSimulator(abc.ABC):
                 sync_kinds = batch.sync_kind
                 sync_objects = batch.sync_object
                 instructions = batch.instructions
-                skip_sync = batch.fetch_skip_template
+                skip_sync = batch.fetch_skip_template if batch.has_sync else None
+                run_ends = batch.plain_run_ends()
                 thread_id = cursor.trace.thread_id
                 position = cursor.position
                 fetch_limit = fetch_done[index]
@@ -340,12 +345,20 @@ class MulticoreSimulator(abc.ABC):
                             # The fetch itself misses: complete it in place.
                             hierarchy.instruction_probe(core_id, pcs[position], 0)
                             fetch_limit = position + 1
+                    if plain[k]:
+                        # Plain instructions only touch the (already warmed)
+                        # fetch path: skip the whole verified run at once.
+                        end = run_ends[position]
+                        if end > stop:
+                            end = stop
+                        if end > fetch_limit:
+                            end = fetch_limit
+                        position = end
+                        continue
                     if k == load_code or k == store_code:
                         address = addrs[position]
                         if address is not None:
-                            hierarchy.data_probe(
-                                core_id, address, k == store_code, 0
-                            )
+                            hierarchy.warm_data(core_id, address, k == store_code)
                     elif k == branch_code:
                         predictor.access(instructions[position])
                     position += 1

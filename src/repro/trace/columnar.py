@@ -98,7 +98,9 @@ class TraceBatch:
         "is_taken",
         "branch_target",
         "fetch_skip_template",
+        "has_sync",
         "length",
+        "_plain_run_ends",
     )
 
     def __init__(self, instructions: Sequence[Instruction]) -> None:
@@ -124,16 +126,47 @@ class TraceBatch:
         self.length = len(ins)
         # Per-position flag-byte template: consumers copy it to seed their
         # own flag array with the positions that must never be fetched.
+        # has_sync lets consumers that never set their own flags skip the
+        # per-position flag test entirely (single-threaded traces).
         template = bytearray(self.length)
         sync_code = int(InstructionClass.SYNC)
-        if self.klass.count(sync_code):
+        self.has_sync = bool(self.klass.count(sync_code))
+        if self.has_sync:
             for position, code in enumerate(self.klass):
                 if code == sync_code:
                     template[position] = FLAG_NO_FETCH
         self.fetch_skip_template = template
+        self._plain_run_ends: Optional[List[int]] = None
 
     def __len__(self) -> int:
         return self.length
+
+    def plain_run_ends(self) -> List[int]:
+        """Exclusive end of the plain run starting at each position.
+
+        ``plain_run_ends()[i]`` is the index of the first instruction at or
+        after ``i`` whose class is *not* plain (``i`` itself when position
+        ``i`` is an event-capable instruction), or :attr:`length` when the
+        trace ends first.  Kernels that charge plain instructions a constant
+        cost (the one-IPC model) commit the whole run ``[i,
+        plain_run_ends()[i])`` with O(1) arithmetic instead of re-classifying
+        each position.  Built lazily and cached; shared by every consumer of
+        the batch.
+        """
+        ends = self._plain_run_ends
+        if ends is None:
+            klass = self.klass
+            plain = KLASS_PLAIN
+            ends = [0] * self.length
+            next_event = self.length
+            for position in range(self.length - 1, -1, -1):
+                if plain[klass[position]]:
+                    ends[position] = next_event
+                else:
+                    ends[position] = position
+                    next_event = position
+            self._plain_run_ends = ends
+        return ends
 
     def latency_table(
         self, latencies: Optional[dict] = None

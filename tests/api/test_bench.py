@@ -8,8 +8,10 @@ import os
 import pytest
 
 from repro.api.bench import (
+    BENCH_SHAPES,
     DEFAULT_BENCH_FILENAME,
     check_baseline,
+    run_multi_shape_suite,
     run_throughput_suite,
     write_report,
 )
@@ -82,6 +84,94 @@ class TestBaselineCheck:
         assert check_baseline(tiny_report, {"comment": "hello"}) == []
 
 
+@pytest.fixture(scope="module")
+def multi_shape_report():
+    """One small multi-shape run shared by the assertions below."""
+    return run_multi_shape_suite(
+        shapes=("gcc", "sync"),
+        instructions=2000,
+        warmup_instructions=500,
+        simulators=("oneipc",),
+        repeats=1,
+    )
+
+
+class TestBenchShapes:
+    def test_canonical_shapes_cover_all_three_profiles(self):
+        assert set(BENCH_SHAPES) == {"gcc", "mcf", "sync"}
+        assert BENCH_SHAPES["mcf"].kind == "single"
+        assert BENCH_SHAPES["sync"].kind == "multithreaded"
+        assert BENCH_SHAPES["sync"].threads > 1
+
+    def test_shape_workloads_are_deterministic(self):
+        first = BENCH_SHAPES["sync"].build_workload(2000, seed=3)
+        second = BENCH_SHAPES["sync"].build_workload(2000, seed=3)
+        assert first.num_threads == second.num_threads == BENCH_SHAPES["sync"].threads
+        assert [len(t) for t in first.traces] == [len(t) for t in second.traces]
+
+    def test_single_shape_report_names_its_shape(self):
+        report = run_throughput_suite(
+            shape="mcf", instructions=1500, warmup_instructions=300,
+            simulators=("oneipc",), repeats=1,
+        )
+        assert report["workload"]["shape"] == "mcf"
+        assert report["workload"]["benchmark"] == "mcf"
+
+    def test_unknown_shape_fails_early(self):
+        with pytest.raises(KeyError):
+            run_throughput_suite(shape="no-such-shape", instructions=1000)
+
+
+class TestMultiShapeSuite:
+    def test_report_nests_fragments_per_shape(self, multi_shape_report):
+        assert multi_shape_report["format_version"] == 2
+        assert sorted(multi_shape_report["shapes"]) == ["gcc", "sync"]
+        for name, fragment in multi_shape_report["shapes"].items():
+            assert fragment["workload"]["shape"] == name
+            assert fragment["results"]["oneipc"]["whole_run_kips"] > 0
+
+    def test_sync_shape_actually_synchronizes(self, multi_shape_report):
+        workload = multi_shape_report["shapes"]["sync"]["workload"]
+        assert workload["kind"] == "multithreaded"
+        assert workload["threads"] == BENCH_SHAPES["sync"].threads
+
+    def test_empty_shape_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_multi_shape_suite(shapes=(), instructions=1000)
+
+    def test_per_shape_baseline_gates_each_pair(self, multi_shape_report):
+        measured = {
+            name: fragment["results"]["oneipc"]["whole_run_kips"]
+            for name, fragment in multi_shape_report["shapes"].items()
+        }
+        passing = {
+            "shapes": {name: {"oneipc_kips": kips / 2} for name, kips in measured.items()}
+        }
+        assert check_baseline(multi_shape_report, passing) == []
+        failing = {
+            "shapes": {
+                "gcc": {"oneipc_kips": measured["gcc"] / 2},
+                "sync": {"oneipc_kips": measured["sync"] * 10},
+            }
+        }
+        failures = check_baseline(multi_shape_report, failing, tolerance=0.2)
+        assert len(failures) == 1 and "sync/oneipc" in failures[0]
+
+    def test_unmeasured_baseline_shapes_are_skipped(self, multi_shape_report):
+        baseline = {"shapes": {"mcf": {"oneipc_kips": 10_000_000.0}}}
+        assert check_baseline(multi_shape_report, baseline) == []
+
+    def test_flat_baseline_applies_to_gcc_shape(self, multi_shape_report):
+        measured = multi_shape_report["shapes"]["gcc"]["results"]["oneipc"][
+            "whole_run_kips"
+        ]
+        assert check_baseline(multi_shape_report, {"oneipc_kips": measured / 2}) == []
+        failures = check_baseline(
+            multi_shape_report, {"oneipc_kips": measured * 10}, tolerance=0.2
+        )
+        assert len(failures) == 1 and "gcc/oneipc" in failures[0]
+
+
 class TestReportRoundTrip:
     def test_write_report_produces_valid_json(self, tiny_report, tmp_path):
         path = tmp_path / DEFAULT_BENCH_FILENAME
@@ -95,6 +185,7 @@ class TestBenchCli:
         output = tmp_path / "bench.json"
         code = cli_main([
             "bench", "--instructions", "1500", "--warmup", "300",
+            "--shape", "gcc",
             "--simulators", "interval", "--repeats", "1",
             "--output", str(output),
         ])
@@ -104,12 +195,49 @@ class TestBenchCli:
         assert "Simulator throughput" in out
         assert "interval" in out
 
+    def test_bench_subcommand_runs_all_shapes_by_default(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        code = cli_main([
+            "bench", "--instructions", "1200", "--warmup", "300",
+            "--simulators", "oneipc", "--repeats", "1",
+            "--output", str(output),
+        ])
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["format_version"] == 2
+        assert sorted(report["shapes"]) == sorted(BENCH_SHAPES)
+        out = capsys.readouterr().out
+        for name in BENCH_SHAPES:
+            assert f"shape {name!r}" in out
+
+    def test_bench_subcommand_rejects_unknown_shape(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main([
+                "bench", "--shape", "no-such-shape",
+                "--output", str(tmp_path / "bench.json"),
+            ])
+
     def test_bench_subcommand_enforces_baseline(self, tmp_path):
         baseline = tmp_path / "baseline.json"
-        baseline.write_text(json.dumps({"interval_kips": 10_000_000.0}))
+        baseline.write_text(
+            json.dumps({"shapes": {"gcc": {"interval_kips": 10_000_000.0}}})
+        )
         code = cli_main([
             "bench", "--instructions", "1500", "--simulators", "interval",
+            "--shape", "gcc",
             "--repeats", "1", "--output", str(tmp_path / "bench.json"),
             "--baseline", str(baseline),
         ])
         assert code == 1
+
+    def test_bench_subcommand_benchmark_flag_keeps_legacy_report(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = cli_main([
+            "bench", "--benchmark", "twolf", "--instructions", "1200",
+            "--simulators", "oneipc", "--repeats", "1",
+            "--output", str(output),
+        ])
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["format_version"] == 1
+        assert report["workload"]["benchmark"] == "twolf"

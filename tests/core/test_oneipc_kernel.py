@@ -1,0 +1,171 @@
+"""The batched one-IPC kernel must be bit-identical to the per-cycle model.
+
+:class:`repro.core.oneipc.OneIPCCore` commits whole inter-event runs over
+the columnar batch as constant-time arithmetic.  These tests pin it against
+``_ReferenceOneIPCCore`` — a direct transcription of the original
+instruction-at-a-time formulation (cursor ``peek``/``next``, per-instruction
+``instruction_access``/``data_access``) — and against itself under different
+driver interval sizes (whole-run versus one event step per call), which is
+the contract the multi-core event-heap driver relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.branch import create_branch_predictor
+from repro.common.config import default_machine_config
+from repro.common.stats import CoreStats
+from repro.core.oneipc import OneIPCCore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.workloads import single_threaded_workload
+
+
+class _ReferenceOneIPCCore:
+    """The original per-cycle one-IPC formulation (pre-kernel)."""
+
+    def __init__(self, core_id, config, hierarchy, predictor, stats):
+        self.core_id = core_id
+        self.config = config
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.stats = stats
+        self.sim_time = 0
+        self.finished = False
+        self._cursor = None
+
+    def bind_thread(self, cursor, thread_id):
+        self._cursor = cursor
+
+    def simulate_cycle(self, multi_core_time):
+        if self.finished or self._cursor is None:
+            return
+        if self.sim_time != multi_core_time:
+            return
+        instruction = self._cursor.peek()
+        if instruction is None:
+            self._finish()
+            return
+        if instruction.is_sync:
+            self._cursor.next()
+            self.stats.instructions += 1
+            self.sim_time += 1
+            return
+        self._cursor.next()
+        self.stats.instructions += 1
+        penalty = 0
+        result = self.hierarchy.instruction_access(
+            self.core_id, instruction.pc, now=self.sim_time
+        )
+        if result.l1_miss or result.tlb_miss:
+            penalty += result.penalty
+            if result.l1_miss:
+                self.stats.icache_misses += 1
+            if result.tlb_miss:
+                self.stats.itlb_misses += 1
+        if instruction.is_branch:
+            self.stats.branch_lookups += 1
+            if not self.predictor.access(instruction):
+                self.stats.branch_mispredictions += 1
+                penalty += self.config.core.frontend_pipeline_depth
+        if instruction.is_memory:
+            access = self.hierarchy.data_access(
+                self.core_id,
+                instruction.mem_addr,
+                is_write=instruction.is_store,
+                now=self.sim_time,
+            )
+            self.stats.dcache_accesses += 1
+            if access.l1_miss:
+                self.stats.l1d_misses += 1
+            if access.tlb_miss:
+                self.stats.dtlb_misses += 1
+            if instruction.is_load:
+                self.stats.committed_loads += 1
+                penalty += access.penalty
+                if access.long_latency:
+                    self.stats.long_latency_loads += 1
+            else:
+                self.stats.committed_stores += 1
+        self.sim_time += 1 + penalty
+        if self._cursor.exhausted:
+            self._finish()
+
+    def _finish(self):
+        if self.finished:
+            return
+        self.finished = True
+        self.stats.cycles = self.sim_time
+
+
+def _run_kernel(profile, instructions, seed, step=False):
+    machine = default_machine_config(1)
+    workload = single_threaded_workload(profile, instructions=instructions, seed=seed)
+    hierarchy = MemoryHierarchy(machine)
+    stats = CoreStats()
+    core = OneIPCCore(0, machine, hierarchy, create_branch_predictor(), stats)
+    core.bind_thread(workload.traces[0].cursor(), thread_id=0)
+    if step:
+        # One event step per call: the call pattern of a core that always has
+        # a tied neighbour in the event heap.
+        while not core.finished:
+            core.simulate_cycle(core.sim_time)
+    else:
+        core.simulate_interval(float("inf"))
+    return core, stats
+
+
+def _run_reference(profile, instructions, seed):
+    machine = default_machine_config(1)
+    workload = single_threaded_workload(profile, instructions=instructions, seed=seed)
+    hierarchy = MemoryHierarchy(machine)
+    stats = CoreStats()
+    core = _ReferenceOneIPCCore(
+        0, machine, hierarchy, create_branch_predictor(), stats
+    )
+    core.bind_thread(workload.traces[0].cursor(), thread_id=0)
+    while not core.finished:
+        core.simulate_cycle(core.sim_time)
+    return core, stats
+
+
+def _counters(stats: CoreStats):
+    return {
+        "instructions": stats.instructions,
+        "cycles": stats.cycles,
+        "icache_misses": stats.icache_misses,
+        "itlb_misses": stats.itlb_misses,
+        "branch_lookups": stats.branch_lookups,
+        "branch_mispredictions": stats.branch_mispredictions,
+        "dcache_accesses": stats.dcache_accesses,
+        "l1d_misses": stats.l1d_misses,
+        "dtlb_misses": stats.dtlb_misses,
+        "committed_loads": stats.committed_loads,
+        "committed_stores": stats.committed_stores,
+        "long_latency_loads": stats.long_latency_loads,
+    }
+
+
+@pytest.mark.parametrize("profile", ["gcc", "mcf", "twolf"])
+@pytest.mark.parametrize("seed", [0, 7])
+def test_batched_kernel_matches_per_cycle_reference(profile, seed):
+    kernel_core, kernel_stats = _run_kernel(profile, 3000, seed)
+    reference_core, reference_stats = _run_reference(profile, 3000, seed)
+    assert kernel_core.sim_time == reference_core.sim_time
+    assert _counters(kernel_stats) == _counters(reference_stats)
+
+
+@pytest.mark.parametrize("profile", ["gcc", "mcf"])
+def test_event_steps_equal_whole_run(profile):
+    """simulate_interval(inf) and one-step-at-a-time must agree exactly."""
+    whole_core, whole_stats = _run_kernel(profile, 3000, 0)
+    step_core, step_stats = _run_kernel(profile, 3000, 0, step=True)
+    assert whole_core.sim_time == step_core.sim_time
+    assert _counters(whole_stats) == _counters(step_stats)
+
+
+def test_kernel_consumes_the_whole_trace():
+    core, stats = _run_kernel("gcc", 2500, 0)
+    assert core.finished
+    assert stats.instructions == 2500
+    assert stats.cycles == core.sim_time > 2500  # penalties make CPI > 1

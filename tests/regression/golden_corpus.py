@@ -68,4 +68,11 @@ def corpus_specs():
         ("interval/streamcluster/mt-4", multithreaded("interval", "streamcluster", 4, 12000, 1000)),
         ("interval/fluidanimate/mt-2", multithreaded("interval", "fluidanimate", 2, 8000, 1000)),
         ("oneipc/vips/mt-2", multithreaded("oneipc", "vips", 2, 8000, 1000)),
+        # Sync-heavy shapes pinning the batched oneipc/detailed kernels on
+        # the barrier/lock paths (fluidanimate: barriers + contended locks;
+        # dedup: lock-only; streamcluster: barrier-only).
+        ("oneipc/fluidanimate/mt-4", multithreaded("oneipc", "fluidanimate", 4, 12000, 1000)),
+        ("oneipc/dedup/mt-2", multithreaded("oneipc", "dedup", 2, 8000, 1000)),
+        ("detailed/fluidanimate/mt-2", multithreaded("detailed", "fluidanimate", 2, 6000, 1000)),
+        ("detailed/streamcluster/mt-2", multithreaded("detailed", "streamcluster", 2, 6000, 1000)),
     ]

@@ -117,3 +117,53 @@ class TestCursorAdvance:
         cursor = ThreadTrace(_mixed_instructions()).cursor()
         with pytest.raises(ValueError):
             cursor.advance_to(6)
+
+
+class TestPlainRunEnds:
+    def test_runs_end_at_the_first_event_capable_position(self):
+        instructions = [
+            Instruction(seq=i, pc=0x1000 + 4 * i, klass=InstructionClass.INT_ALU)
+            for i in range(3)
+        ] + [
+            Instruction(seq=3, pc=0x100C, klass=InstructionClass.LOAD,
+                        mem_addr=0x8000),
+            Instruction(seq=4, pc=0x1010, klass=InstructionClass.FP_MUL),
+            Instruction(seq=5, pc=0x1014, klass=InstructionClass.BRANCH),
+        ]
+        ends = TraceBatch(instructions).plain_run_ends()
+        # Positions 0-2 are one plain run ending at the load (position 3).
+        assert ends[:3] == [3, 3, 3]
+        # Event-capable positions map to themselves.
+        assert ends[3] == 3 and ends[5] == 5
+        # The lone plain instruction between two events runs to the branch.
+        assert ends[4] == 5
+
+    def test_trailing_plain_run_ends_at_the_trace_end(self):
+        instructions = [
+            Instruction(seq=0, pc=0x1000, klass=InstructionClass.BRANCH),
+            Instruction(seq=1, pc=0x1004, klass=InstructionClass.INT_ALU),
+            Instruction(seq=2, pc=0x1008, klass=InstructionClass.NOP),
+        ]
+        ends = TraceBatch(instructions).plain_run_ends()
+        assert ends == [0, 3, 3]
+
+    def test_column_is_cached(self):
+        batch = TraceBatch(_mixed_instructions())
+        assert batch.plain_run_ends() is batch.plain_run_ends()
+
+    def test_matches_klass_plain_on_a_generated_trace(self):
+        batch = single_threaded_workload("gcc", instructions=1500, seed=1).traces[0].batch()
+        ends = batch.plain_run_ends()
+        for position, end in enumerate(ends):
+            if KLASS_PLAIN[batch.klass[position]]:
+                assert position < end <= batch.length
+                assert all(KLASS_PLAIN[batch.klass[i]] for i in range(position, end))
+                assert end == batch.length or not KLASS_PLAIN[batch.klass[end]]
+            else:
+                assert end == position
+
+
+class TestHasSync:
+    def test_sync_presence_is_recorded(self):
+        assert TraceBatch(_mixed_instructions()).has_sync
+        assert not TraceBatch(_mixed_instructions()[:4]).has_sync
