@@ -35,7 +35,7 @@ from .registry import (
 )
 from .results import RunResult, load_results, save_results
 from .session import Session, run_spec, run_specs
-from .spec import SweepSpec, WorkloadSpec
+from .spec import SweepSpec, WorkloadSpec, spec_hash
 
 __all__ = [
     "DEFAULT_REGISTRY",
@@ -61,4 +61,5 @@ __all__ = [
     "run_specs",
     "SweepSpec",
     "WorkloadSpec",
+    "spec_hash",
 ]

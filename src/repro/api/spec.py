@@ -12,9 +12,15 @@ number of workers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple, Union
 
-from ..common.config import MachineConfig, default_machine_config
+from ..common.canonical import canonical_dumps, content_digest
+from ..common.config import (
+    MachineConfig,
+    default_machine_config,
+    machine_from_dict,
+    machine_to_dict,
+)
 from ..trace.stream import Workload
 from ..trace.workloads import (
     heterogeneous_multiprogram_workload,
@@ -23,7 +29,7 @@ from ..trace.workloads import (
     single_threaded_workload,
 )
 
-__all__ = ["WorkloadSpec", "SweepSpec", "WORKLOAD_KINDS"]
+__all__ = ["WorkloadSpec", "SweepSpec", "WORKLOAD_KINDS", "spec_hash"]
 
 #: Workload shapes a spec can describe, mirroring repro.trace.workloads.
 WORKLOAD_KINDS = ("single", "multiprogram", "heterogeneous", "multithreaded")
@@ -170,13 +176,87 @@ class SweepSpec:
         return replace(self, simulator=simulator, options=validated)
 
     def describe(self) -> Dict[str, object]:
-        """JSON-safe description of the job (machine summarized, not encoded)."""
+        """JSON-safe description of the job (machine summarized, not encoded).
+
+        Option keys are emitted in sorted order so the description — which is
+        embedded verbatim in :class:`~repro.api.results.RunResult` parameters
+        — serializes identically however the options dict was built.
+        """
         return {
             "simulator": self.simulator,
             "workload": self.workload.as_dict(),
-            "options": dict(self.options),
+            "options": {key: self.options[key] for key in sorted(self.options)},
             "warmup_instructions": self.warmup_instructions,
             "max_cycles": self.max_cycles,
             "num_cores": self.machine.num_cores,
             "label": self.label,
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full-fidelity JSON-safe encoding of the job, machine included.
+
+        Unlike :meth:`describe` (a human-oriented summary), this round-trips:
+        ``SweepSpec.from_dict(spec.to_dict()) == spec``.  It is the wire
+        format of the job server and the payload the content hash is computed
+        over, so every collection with order-insensitive semantics (option
+        names) is emitted in sorted order.
+        """
+        return {
+            "simulator": self.simulator,
+            "workload": self.workload.as_dict(),
+            "machine": machine_to_dict(self.machine),
+            "options": {key: self.options[key] for key in sorted(self.options)},
+            "warmup_instructions": self.warmup_instructions,
+            "max_cycles": self.max_cycles,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        machine_data = data.get("machine")
+        machine = (
+            machine_from_dict(machine_data)  # type: ignore[arg-type]
+            if machine_data is not None
+            else default_machine_config()
+        )
+        max_cycles = data.get("max_cycles")
+        return cls(
+            simulator=str(data["simulator"]),
+            workload=WorkloadSpec.from_dict(dict(data.get("workload", {}))),  # type: ignore[arg-type]
+            machine=machine,
+            options=dict(data.get("options", {})),  # type: ignore[arg-type]
+            warmup_instructions=int(data.get("warmup_instructions", 0)),  # type: ignore[arg-type]
+            max_cycles=int(max_cycles) if max_cycles is not None else None,
+            label=str(data.get("label", "")),
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical JSON encoding of :meth:`to_dict` (sorted keys, compact).
+
+        Two processes — or two Python versions — building the same spec
+        produce the same string, which makes it usable as a cache key.
+        """
+        return canonical_dumps(self.to_dict())
+
+    def content_hash(self) -> str:
+        """Hex SHA-256 of :meth:`canonical_json` — the spec's cache key.
+
+        Because every run is bit-reproducible from its spec (deterministic
+        trace seeding), equal hashes imply bit-identical results: the result
+        store can serve cached statistics as *exact*, not approximate.
+        """
+        return content_digest(self.to_dict())
+
+
+def spec_hash(spec: Union[SweepSpec, Mapping[str, object]]) -> str:
+    """Content hash of a spec given either as an object or a ``to_dict`` dict.
+
+    Dictionaries are normalized through :meth:`SweepSpec.from_dict` /
+    :meth:`SweepSpec.to_dict` first, so an equivalent dict built elsewhere
+    (different key order, defaults spelled out or omitted) hashes identically
+    to the spec object it describes.
+    """
+    if not isinstance(spec, SweepSpec):
+        spec = SweepSpec.from_dict(spec)
+    return spec.content_hash()

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from .isa import DEFAULT_EXECUTION_LATENCIES, InstructionClass
 
@@ -41,6 +41,8 @@ __all__ = [
     "default_machine_config",
     "dualcore_l2_config",
     "quadcore_3d_stacked_config",
+    "machine_to_dict",
+    "machine_from_dict",
 ]
 
 
@@ -310,6 +312,47 @@ class MachineConfig:
     def with_perfect(self, perfect: PerfectStructures) -> "MachineConfig":
         """Return a copy with different idealization flags."""
         return replace(self, perfect=perfect)
+
+
+def machine_to_dict(machine: MachineConfig) -> Dict[str, object]:
+    """JSON-safe, full-fidelity encoding of a machine configuration.
+
+    Execution latencies are keyed by :class:`InstructionClass` *name* rather
+    than enum value, so the encoding stays readable and stable if the enum is
+    ever renumbered.  :func:`machine_from_dict` inverts this exactly:
+    ``machine_from_dict(machine_to_dict(m)) == m``.
+    """
+    data = dataclasses.asdict(machine)
+    data["core"]["execution_latencies"] = {
+        InstructionClass(klass).name: int(latency)
+        for klass, latency in machine.core.execution_latencies.items()
+    }
+    return data
+
+
+def machine_from_dict(data: Mapping[str, object]) -> MachineConfig:
+    """Rebuild a machine configuration from :func:`machine_to_dict` output."""
+    core_data = dict(data["core"])  # type: ignore[arg-type]
+    core_data["execution_latencies"] = {
+        InstructionClass[str(name)]: int(latency)  # type: ignore[misc]
+        for name, latency in dict(core_data["execution_latencies"]).items()
+    }
+    core_data["branch_predictor"] = BranchPredictorConfig(
+        **dict(core_data["branch_predictor"])
+    )
+    memory_data = dict(data["memory"])  # type: ignore[arg-type]
+    for cache_field in ("l1i", "l1d", "l2"):
+        encoded = memory_data.get(cache_field)
+        if encoded is not None:
+            memory_data[cache_field] = CacheConfig(**dict(encoded))
+    for tlb_field in ("itlb", "dtlb"):
+        memory_data[tlb_field] = TLBConfig(**dict(memory_data[tlb_field]))
+    return MachineConfig(
+        num_cores=int(data["num_cores"]),  # type: ignore[arg-type]
+        core=CoreConfig(**core_data),
+        memory=MemoryConfig(**memory_data),
+        perfect=PerfectStructures(**dict(data.get("perfect", {}))),  # type: ignore[arg-type]
+    )
 
 
 def default_core_config() -> CoreConfig:

@@ -1,0 +1,40 @@
+"""Simulation-as-a-service: persistent job server, result cache, workers.
+
+The :mod:`repro.service` subsystem turns the declarative, bit-reproducible
+job layer of :mod:`repro.api` into a long-running service:
+
+* :mod:`repro.service.store` — a content-addressed on-disk result store:
+  every :class:`~repro.api.spec.SweepSpec` hashes to a key (sorted-key
+  canonical JSON, SHA-256) and the cached :class:`~repro.api.results.RunResult`
+  for that key is *exact*, because runs are deterministic from their spec;
+* :mod:`repro.service.journal` — a write-ahead job journal giving the server
+  checkpoint/resume: jobs enqueued but not committed before a crash are
+  re-executed on restart, committed ones replay from the store;
+* :mod:`repro.service.protocol` — newline-delimited JSON framing shared by
+  the server, the client and attached workers;
+* :mod:`repro.service.server` — the asyncio :class:`JobServer` behind
+  ``repro serve``: dedups submissions against the store and in-flight jobs,
+  shards uncached work by hash across one or more multiprocessing pools
+  (local and remote), and streams results back as they commit;
+* :mod:`repro.service.worker` — the ``repro worker --connect`` loop that
+  attaches another host's cores to a running server;
+* :mod:`repro.service.client` — the synchronous :class:`ServiceClient` used
+  by ``repro submit`` and :meth:`repro.api.session.Session.run_remote`.
+"""
+
+from .client import ServiceClient, SubmitOutcome
+from .journal import JobJournal
+from .protocol import DEFAULT_HOST, DEFAULT_PORT
+from .server import JobServer
+from .store import ResultStore, default_store_root
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "JobJournal",
+    "JobServer",
+    "ResultStore",
+    "ServiceClient",
+    "SubmitOutcome",
+    "default_store_root",
+]

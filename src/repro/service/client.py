@@ -1,0 +1,168 @@
+"""Synchronous client for the job server: ``repro submit`` and the Session API.
+
+A :class:`ServiceClient` speaks the JSON-lines protocol over a plain blocking
+socket — clients are short-lived and sequential, so asyncio buys nothing
+here.  :meth:`ServiceClient.submit` ships a list of
+:class:`~repro.api.spec.SweepSpec` jobs, collects the streamed results (which
+arrive in completion order, tagged with their submission index) and returns
+them re-ordered to match the input, together with the server's
+executed/cached accounting — the number a caller asserts on to prove a
+resubmission was served entirely from cache.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..api.results import RunResult
+from ..api.spec import SweepSpec
+from .protocol import DEFAULT_HOST, DEFAULT_PORT, PROTOCOL_VERSION
+
+__all__ = ["ServiceClient", "ServiceError", "SubmitOutcome"]
+
+
+class ServiceError(RuntimeError):
+    """The server reported an error, or the conversation broke down."""
+
+
+@dataclass
+class SubmitOutcome:
+    """Everything one sweep submission returned.
+
+    Attributes
+    ----------
+    results:
+        One :class:`RunResult` per submitted spec, in submission order.
+    result_dicts:
+        The raw JSON payloads the results were built from, byte-stable
+        across submissions of the same specs (cache replay is exact).
+    executed / cached / joined:
+        The server's accounting: jobs this submission ran, jobs served from
+        the result store, jobs attached to an identical in-flight job.
+    spec_hashes:
+        Content hash of each submitted spec, in submission order.
+    """
+
+    results: List[RunResult] = field(default_factory=list)
+    result_dicts: List[Dict[str, object]] = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+    joined: int = 0
+    spec_hashes: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Number of jobs in the sweep."""
+        return len(self.results)
+
+
+class ServiceClient:
+    """One connection to a running ``repro serve``."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        try:
+            return socket.create_connection((self.host, self.port), timeout=self.timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to repro serve at {self.host}:{self.port} ({exc}); "
+                "is the server running?"
+            ) from exc
+
+    def _roundtrip(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Send one request and return its single response message."""
+        with self._connect() as sock:
+            stream = sock.makefile("rwb")
+            _write(stream, request)
+            response = _read(stream)
+            if response is None:
+                raise ServiceError("server closed the connection without responding")
+            return response
+
+    def ping(self) -> bool:
+        """True when a ``repro serve`` answers at the configured address."""
+        try:
+            return self._roundtrip({"type": "ping"}).get("type") == "pong"
+        except ServiceError:
+            return False
+
+    def status(self) -> Dict[str, object]:
+        """The server's status counters."""
+        response = self._roundtrip({"type": "status"})
+        if response.get("type") != "status":
+            raise ServiceError(f"unexpected response: {response!r}")
+        return response
+
+    def submit(
+        self, specs: Sequence[Union[SweepSpec, Dict[str, object]]]
+    ) -> SubmitOutcome:
+        """Submit a sweep and block until every job's result has streamed back."""
+        if not specs:
+            raise ValueError("need at least one spec to submit")
+        encoded = [
+            spec.to_dict() if isinstance(spec, SweepSpec) else dict(spec)
+            for spec in specs
+        ]
+        outcome = SubmitOutcome(
+            results=[None] * len(encoded),  # type: ignore[list-item]
+            result_dicts=[None] * len(encoded),  # type: ignore[list-item]
+            spec_hashes=[""] * len(encoded),
+        )
+        with self._connect() as sock:
+            stream = sock.makefile("rwb")
+            _write(stream, {"type": "submit", "specs": encoded, "protocol": PROTOCOL_VERSION})
+            while True:
+                message = _read(stream)
+                if message is None:
+                    raise ServiceError(
+                        "server closed the connection mid-sweep; "
+                        "restart it and resubmit (completed jobs are cached)"
+                    )
+                kind = message.get("type")
+                if kind == "error":
+                    raise ServiceError(str(message.get("message", "server error")))
+                if kind == "result":
+                    index = int(message["index"])  # type: ignore[arg-type]
+                    payload = message["result"]
+                    assert isinstance(payload, dict)
+                    outcome.result_dicts[index] = payload
+                    outcome.results[index] = RunResult.from_dict(payload)
+                    outcome.spec_hashes[index] = str(message.get("spec_hash", ""))
+                    continue
+                if kind == "done":
+                    outcome.executed = int(message.get("executed", 0))  # type: ignore[arg-type]
+                    outcome.cached = int(message.get("cached", 0))  # type: ignore[arg-type]
+                    outcome.joined = int(message.get("joined", 0))  # type: ignore[arg-type]
+                    break
+                raise ServiceError(f"unexpected message: {message!r}")
+        missing = [i for i, result in enumerate(outcome.results) if result is None]
+        if missing:
+            raise ServiceError(f"server never returned jobs {missing}")
+        return outcome
+
+
+def _write(stream, message: Dict[str, object]) -> None:
+    stream.write((json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8"))
+    stream.flush()
+
+
+def _read(stream) -> Optional[Dict[str, object]]:
+    line = stream.readline()
+    if not line:
+        return None
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ServiceError(f"malformed message from server: {message!r}")
+    return message

@@ -1,0 +1,133 @@
+"""Write-ahead job journal: checkpoint/resume for the job server.
+
+Before the server hands a job to a worker pool it appends an ``enqueue``
+record (hash + full spec) to the journal; when the job's result has been
+committed to the result store it appends a ``commit`` record.  The journal
+is therefore a complete account of outstanding work: after a crash or a
+plain restart, :meth:`JobJournal.replay` yields exactly the jobs that were
+accepted but never committed, and the server re-enqueues only those — jobs
+with a committed result replay from the store bit-identically, so an
+interrupted million-job sweep resumes where it stopped instead of starting
+over.
+
+The format is append-only JSON lines, one record per line, flushed on every
+append.  A crash can leave a torn final line; replay tolerates (and ignores)
+it — the corresponding job is simply re-executed, which is always safe
+because execution is deterministic and the store write is atomic.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from typing import Dict, Optional, Tuple, Union
+
+from ..common.canonical import canonical_dumps
+
+__all__ = ["JobJournal"]
+
+logger = logging.getLogger("repro.service.journal")
+
+
+class JobJournal:
+    """Append-only enqueue/commit log keyed by spec hash."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        # A crash can leave a torn final line with no newline; terminate it
+        # now so the next append starts a fresh record instead of gluing
+        # itself onto the fragment (which would corrupt both).
+        if self._tail_is_torn():
+            self._handle.write("\n")
+            self._handle.flush()
+
+    def _tail_is_torn(self) -> bool:
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._handle.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _append(self, record: Dict[str, object]) -> None:
+        self._handle.write(canonical_dumps(record))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def record_enqueue(self, spec_hash: str, spec: Dict[str, object]) -> None:
+        """Journal that ``spec_hash`` has been accepted for execution.
+
+        Written *before* the job is dispatched, so a crash at any later point
+        leaves evidence that the job still owes a result.
+        """
+        self._append({"event": "enqueue", "spec_hash": spec_hash, "spec": spec})
+
+    def record_commit(self, spec_hash: str) -> None:
+        """Journal that the result for ``spec_hash`` is durably in the store."""
+        self._append({"event": "commit", "spec_hash": spec_hash})
+
+    def replay(self) -> Dict[str, Dict[str, object]]:
+        """Jobs enqueued but never committed: ``{spec_hash: spec_dict}``.
+
+        Reads the journal from the start (including records written by
+        previous processes).  Unparseable lines — a torn tail from a crash —
+        are skipped: losing an ``enqueue`` means the job is simply re-accepted
+        on resubmission, losing a ``commit`` means the job re-executes to the
+        same result, so either way correctness is preserved.
+        """
+        pending: Dict[str, Dict[str, object]] = {}
+        try:
+            handle = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return pending
+        with handle:
+            for line_number, line in enumerate(handle, start=1):
+                record = self._parse(line, line_number)
+                if record is None:
+                    continue
+                event, spec_hash, spec = record
+                if event == "enqueue" and spec is not None:
+                    pending[spec_hash] = spec
+                elif event == "commit":
+                    pending.pop(spec_hash, None)
+        return pending
+
+    def _parse(
+        self, line: str, line_number: int
+    ) -> Optional[Tuple[str, str, Optional[Dict[str, object]]]]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            record = json.loads(line)
+        except ValueError:
+            logger.warning(
+                "skipping unparseable journal line %d in %s", line_number, self.path
+            )
+            return None
+        if not isinstance(record, dict):
+            return None
+        event = record.get("event")
+        spec_hash = record.get("spec_hash")
+        if not isinstance(event, str) or not isinstance(spec_hash, str):
+            return None
+        spec = record.get("spec")
+        return event, spec_hash, spec if isinstance(spec, dict) else None

@@ -1,0 +1,102 @@
+"""Newline-delimited JSON protocol shared by server, client and workers.
+
+Every message is one JSON object on one line (JSON Lines framing).  The
+vocabulary:
+
+Client → server
+    ``{"type": "ping"}``
+        Liveness probe; answered with ``pong``.
+    ``{"type": "status"}``
+        Server counters; answered with ``status``.
+    ``{"type": "submit", "specs": [<SweepSpec.to_dict()>, ...]}``
+        Submit a sweep.  The server streams one ``result`` message per job —
+        in completion order, tagged with the submission index — followed by a
+        terminal ``done`` message.
+
+Server → client
+    ``{"type": "result", "index": i, "spec_hash": h, "source": s, "result": d}``
+        One finished job; ``source`` is ``"cached"`` (served from the result
+        store), ``"executed"`` (run by this submission) or ``"joined"``
+        (attached to an identical in-flight job).
+    ``{"type": "done", "total": n, "executed": e, "cached": c, "joined": j}``
+        Sweep complete.
+    ``{"type": "error", "message": m}``
+        The request failed; the connection stays usable.
+
+Worker → server
+    ``{"type": "attach", "workers": n}``
+        Turn this connection into a worker: the server acks with
+        ``attached`` and from then on pushes ``job`` messages.
+    ``{"type": "job_result", "spec_hash": h, "result": d}`` /
+    ``{"type": "job_error", "spec_hash": h, "message": m}``
+        Outcome of one pushed job.
+
+Server → worker
+    ``{"type": "job", "spec_hash": h, "spec": <SweepSpec.to_dict()>}``
+
+Messages are bounded by :data:`MESSAGE_LIMIT` bytes; result payloads for
+many-core machines are large, so the limit is generous.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "MESSAGE_LIMIT",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_message",
+    "encode_message",
+    "read_message",
+    "write_message",
+]
+
+#: The server binds loopback by default: the service trusts its clients.
+DEFAULT_HOST = "127.0.0.1"
+#: Default TCP port of ``repro serve``.
+DEFAULT_PORT = 8750
+#: Maximum encoded message size in bytes (also the asyncio stream limit).
+MESSAGE_LIMIT = 64 * 1024 * 1024
+#: Bumped on incompatible message-vocabulary change.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """Raised when a peer sends something that is not a protocol message."""
+
+
+def encode_message(message: Dict[str, object]) -> bytes:
+    """Frame one message as a JSON line (UTF-8, trailing newline)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, object]:
+    """Parse one framed line back into a message dictionary."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(message, dict) or not isinstance(message.get("type"), str):
+        raise ProtocolError("message must be a JSON object with a string 'type'")
+    return message
+
+
+async def read_message(reader: asyncio.StreamReader) -> Optional[Dict[str, object]]:
+    """Read one message, or ``None`` on a clean EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    return decode_message(line)
+
+
+async def write_message(
+    writer: asyncio.StreamWriter, message: Dict[str, object]
+) -> None:
+    """Write one message and drain the transport."""
+    writer.write(encode_message(message))
+    await writer.drain()

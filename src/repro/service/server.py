@@ -1,0 +1,578 @@
+"""The asyncio job server behind ``repro serve``.
+
+A :class:`JobServer` owns three things:
+
+* a content-addressed :class:`~repro.service.store.ResultStore` — the cache
+  every submission is dedup'd against;
+* a :class:`~repro.service.journal.JobJournal` — the write-ahead log that
+  makes the server restartable: on startup, jobs journalled as enqueued but
+  never committed are re-executed (their results land in the store even if
+  no client is connected), so a sweep interrupted by a crash or restart
+  completes with results bit-identical to an uninterrupted run;
+* one or more worker pools — a local :class:`LocalProcessPool`
+  (multiprocessing over this host's cores) plus a
+  :class:`RemoteWorkerPool` per ``repro worker --connect`` connection.
+  Uncached jobs are sharded across pools by spec hash.
+
+Deduplication happens at three levels: a hash already in the store is served
+from disk without executing ("cached"); a hash currently executing is
+joined, not re-executed ("joined"); everything else runs once and commits
+("executed").  Because execution is deterministic, all three paths return
+the same bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from ..api.registry import DEFAULT_REGISTRY, InvalidOptionError, UnknownSimulatorError
+from ..api.spec import SweepSpec
+from .journal import JobJournal
+from .protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    MESSAGE_LIMIT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_message,
+    write_message,
+)
+from .store import ResultStore
+
+__all__ = ["JobServer", "LocalProcessPool", "RemoteWorkerPool", "PoolUnavailable", "run_server"]
+
+logger = logging.getLogger("repro.service.server")
+
+
+class PoolUnavailable(RuntimeError):
+    """A worker pool went away before (or while) running a job; retry elsewhere."""
+
+
+class JobFailed(RuntimeError):
+    """A job raised during execution; reported to the submitting client."""
+
+
+def _execute_spec_dict(spec_dict: Dict[str, object]) -> Dict[str, object]:
+    """Run one job from its wire encoding (top level: must pickle to workers)."""
+    from ..api.session import run_spec
+
+    return run_spec(SweepSpec.from_dict(spec_dict)).as_dict()
+
+
+class LocalProcessPool:
+    """A multiprocessing pool on the server host."""
+
+    name = "local"
+
+    def __init__(self, workers: int) -> None:
+        if workers <= 0:
+            raise ValueError("a local pool needs at least one worker process")
+        self.capacity = workers
+        self._executor = ProcessPoolExecutor(max_workers=workers)
+        self.closed = False
+
+    async def execute(
+        self, spec_hash: str, spec_dict: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Run one job in a worker process and return its result payload."""
+        if self.closed:
+            raise PoolUnavailable("local pool is shut down")
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._executor, _execute_spec_dict, spec_dict
+            )
+        except RuntimeError as exc:
+            if self.closed:
+                raise PoolUnavailable("local pool is shut down") from exc
+            raise
+
+    def close(self) -> None:
+        """Shut the pool down without waiting for queued work."""
+        self.closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+class RemoteWorkerPool:
+    """An attached ``repro worker`` connection, seen from the server side.
+
+    ``execute`` pushes a ``job`` message and waits for the matching
+    ``job_result``/``job_error``; a semaphore caps in-flight jobs at the
+    capacity the worker announced.  When the connection drops, every pending
+    job fails with :class:`PoolUnavailable` and the dispatcher re-shards it
+    onto the remaining pools.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        capacity: int,
+    ) -> None:
+        self.name = name
+        self.capacity = max(1, capacity)
+        self.closed = False
+        self._writer = writer
+        self._write_lock = write_lock
+        self._slots = asyncio.Semaphore(self.capacity)
+        self._pending: Dict[str, asyncio.Future] = {}
+
+    async def execute(
+        self, spec_hash: str, spec_dict: Dict[str, object]
+    ) -> Dict[str, object]:
+        if self.closed:
+            raise PoolUnavailable(f"worker {self.name} is gone")
+        async with self._slots:
+            if self.closed:
+                raise PoolUnavailable(f"worker {self.name} is gone")
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._pending[spec_hash] = future
+            try:
+                async with self._write_lock:
+                    await write_message(
+                        self._writer,
+                        {"type": "job", "spec_hash": spec_hash, "spec": spec_dict},
+                    )
+                return await future
+            finally:
+                self._pending.pop(spec_hash, None)
+
+    def resolve(self, spec_hash: str, result: Dict[str, object]) -> None:
+        """Complete one pushed job (called from the connection's read loop)."""
+        future = self._pending.get(spec_hash)
+        if future is not None and not future.done():
+            future.set_result(result)
+
+    def fail(self, spec_hash: str, message: str) -> None:
+        """Fail one pushed job with a worker-reported error."""
+        future = self._pending.get(spec_hash)
+        if future is not None and not future.done():
+            future.set_exception(JobFailed(message))
+
+    def close(self) -> None:
+        """Mark the worker gone and bounce its pending jobs back for re-dispatch."""
+        self.closed = True
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(PoolUnavailable(f"worker {self.name} disconnected"))
+
+
+class JobServer:
+    """Asyncio job server: dedup, shard, execute, journal, stream back."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        local_workers: int = 2,
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.host = host
+        self.port = port
+        self.local_workers = local_workers
+        self.journal: Optional[JobJournal] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pools: List[object] = []
+        self._pool_added = asyncio.Event()
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._job_tasks: set = set()
+        self._sweep_ids = itertools.count(1)
+        self._recovery_task: Optional[asyncio.Task] = None
+        self._stopping = False
+        self.jobs_executed = 0
+        self.jobs_cached = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Open the journal, start recovery, and begin listening.
+
+        Returns the bound ``(host, port)`` — useful with ``port=0``.
+        """
+        self.journal = JobJournal(self.store.journal_path())
+        if self.local_workers > 0:
+            self._add_pool(LocalProcessPool(self.local_workers))
+        pending = {
+            spec_hash: spec
+            for spec_hash, spec in self.journal.replay().items()
+            if self.store.get_dict(spec_hash) is None
+        }
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MESSAGE_LIMIT
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info(
+            "serving on %s:%d (store %s, %d local workers)",
+            self.host,
+            self.port,
+            self.store.root,
+            self.local_workers,
+        )
+        if pending:
+            self._recovery_task = asyncio.create_task(self._recover(pending))
+        return self.host, self.port
+
+    async def _recover(self, pending: Dict[str, Dict[str, object]]) -> None:
+        """Re-execute jobs the journal says were enqueued but never committed."""
+        logger.info("recovering %d journalled jobs with no committed result", len(pending))
+        outcomes = await asyncio.gather(
+            *(self._run_job(spec_hash, spec) for spec_hash, spec in pending.items()),
+            return_exceptions=True,
+        )
+        failures = [outcome for outcome in outcomes if isinstance(outcome, BaseException)]
+        for failure in failures:
+            if not isinstance(failure, asyncio.CancelledError):
+                logger.error("recovery job failed: %s", failure)
+        logger.info(
+            "recovery complete: %d jobs, %d failed", len(pending), len(failures)
+        )
+
+    async def stop(self) -> None:
+        """Stop listening, cancel in-flight work, close pools and journal."""
+        self._stopping = True
+        if self._recovery_task is not None:
+            self._recovery_task.cancel()
+            try:
+                await self._recovery_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._recovery_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._job_tasks):
+            task.cancel()
+        if self._job_tasks:
+            await asyncio.gather(*self._job_tasks, return_exceptions=True)
+            self._job_tasks.clear()
+        for future in list(self._inflight.values()):
+            if not future.done():
+                future.cancel()
+        for pool in self._pools:
+            pool.close()  # type: ignore[attr-defined]
+        self._pools.clear()
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- pool management ---------------------------------------------------------
+
+    def _add_pool(self, pool: object) -> None:
+        self._pools.append(pool)
+        self._pool_added.set()
+
+    def _remove_pool(self, pool: object) -> None:
+        if pool in self._pools:
+            self._pools.remove(pool)
+        if not self._pools:
+            self._pool_added.clear()
+
+    async def _pick_pool(self, spec_hash: str):
+        """Shard ``spec_hash`` onto one of the currently attached pools.
+
+        With no pool attached (``--workers 0`` before any worker connects)
+        dispatch parks here until one arrives.
+        """
+        while True:
+            pools = [
+                pool for pool in self._pools
+                if not pool.closed  # type: ignore[attr-defined]
+            ]
+            if pools:
+                return pools[int(spec_hash[:8], 16) % len(pools)]
+            self._pool_added.clear()
+            await self._pool_added.wait()
+
+    # -- job execution -----------------------------------------------------------
+
+    async def _run_job(
+        self, spec_hash: str, spec_dict: Dict[str, object]
+    ) -> Tuple[Dict[str, object], str]:
+        """Produce the result payload for one job, dedup'd at every level.
+
+        Returns ``(payload, source)`` with ``source`` one of ``"cached"``,
+        ``"joined"`` or ``"executed"``.
+        """
+        cached = self.store.get_dict(spec_hash)
+        if cached is not None:
+            self.jobs_cached += 1
+            return cached, "cached"
+        existing = self._inflight.get(spec_hash)
+        if existing is not None:
+            return await asyncio.shield(existing), "joined"
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[spec_hash] = future
+        assert self.journal is not None
+        self.journal.record_enqueue(spec_hash, spec_dict)
+        try:
+            normalized = await self._dispatch(spec_hash, spec_dict)
+            self.journal.record_commit(spec_hash)
+            self.jobs_executed += 1
+            future.set_result(normalized)
+            return normalized, "executed"
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()  # consumed here; joiners get their own copy
+            raise
+        finally:
+            self._inflight.pop(spec_hash, None)
+
+    async def _dispatch(
+        self, spec_hash: str, spec_dict: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Execute on a pool (retrying if the pool vanishes) and commit."""
+        attempts = 0
+        while True:
+            pool = await self._pick_pool(spec_hash)
+            try:
+                result = await pool.execute(spec_hash, spec_dict)  # type: ignore[attr-defined]
+                break
+            except PoolUnavailable:
+                attempts += 1
+                if attempts >= 5:
+                    raise
+        return self.store.put_dict(spec_hash, result, spec=spec_dict)
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        peer = writer.get_extra_info("peername")
+        try:
+            while True:
+                try:
+                    message = await read_message(reader)
+                except ProtocolError as exc:
+                    async with write_lock:
+                        await write_message(
+                            writer, {"type": "error", "message": str(exc)}
+                        )
+                    break
+                if message is None:
+                    break
+                kind = message["type"]
+                if kind == "ping":
+                    async with write_lock:
+                        await write_message(
+                            writer, {"type": "pong", "protocol": PROTOCOL_VERSION}
+                        )
+                elif kind == "status":
+                    async with write_lock:
+                        await write_message(writer, self._status_message())
+                elif kind == "submit":
+                    await self._handle_submit(message, writer, write_lock)
+                elif kind == "attach":
+                    # The connection becomes a worker: its read loop now
+                    # belongs to the pool until the worker disconnects.
+                    await self._handle_worker(message, reader, writer, write_lock, peer)
+                    break
+                else:
+                    async with write_lock:
+                        await write_message(
+                            writer,
+                            {"type": "error", "message": f"unknown message type {kind!r}"},
+                        )
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _status_message(self) -> Dict[str, object]:
+        return {
+            "type": "status",
+            "protocol": PROTOCOL_VERSION,
+            "store": self.store.root,
+            "stored_results": len(self.store),
+            "pools": [
+                {
+                    "name": pool.name,  # type: ignore[attr-defined]
+                    "capacity": pool.capacity,  # type: ignore[attr-defined]
+                }
+                for pool in self._pools
+            ],
+            "inflight": len(self._inflight),
+            "jobs_executed": self.jobs_executed,
+            "jobs_cached": self.jobs_cached,
+        }
+
+    async def _handle_submit(
+        self,
+        message: Dict[str, object],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        sweep_id = next(self._sweep_ids)
+        raw_specs = message.get("specs")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            async with write_lock:
+                await write_message(
+                    writer,
+                    {"type": "error", "message": "submit needs a non-empty 'specs' list"},
+                )
+            return
+
+        # Validate and normalize every spec up front: a typo fails the whole
+        # sweep with a clean message before anything executes.
+        jobs: List[Tuple[str, Dict[str, object]]] = []
+        try:
+            for raw in raw_specs:
+                spec = SweepSpec.from_dict(raw)
+                DEFAULT_REGISTRY.get(spec.simulator).validate_options(
+                    dict(spec.options)
+                )
+                jobs.append((spec.content_hash(), spec.to_dict()))
+        except (UnknownSimulatorError, InvalidOptionError, KeyError, ValueError, TypeError) as exc:
+            async with write_lock:
+                await write_message(
+                    writer, {"type": "error", "message": f"invalid spec: {exc}"}
+                )
+            return
+
+        logger.info("sweep %d: accepted %d jobs", sweep_id, len(jobs))
+        counts = {"cached": 0, "joined": 0, "executed": 0}
+
+        async def run_one(index: int, spec_hash: str, spec_dict: Dict[str, object]) -> None:
+            payload, source = await self._run_job(spec_hash, spec_dict)
+            counts[source] += 1
+            async with write_lock:
+                await write_message(
+                    writer,
+                    {
+                        "type": "result",
+                        "index": index,
+                        "spec_hash": spec_hash,
+                        "source": source,
+                        "result": payload,
+                    },
+                )
+
+        tasks = [
+            asyncio.create_task(run_one(index, spec_hash, spec_dict))
+            for index, (spec_hash, spec_dict) in enumerate(jobs)
+        ]
+        # Registered server-wide so stop() can cancel a sweep mid-flight —
+        # the journal then records exactly which jobs still owe results.
+        self._job_tasks.update(tasks)
+        for task in tasks:
+            task.add_done_callback(self._job_tasks.discard)
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+        failures = [outcome for outcome in outcomes if isinstance(outcome, BaseException)]
+        if failures:
+            logger.error("sweep %d: %d jobs failed: %s", sweep_id, len(failures), failures[0])
+            async with write_lock:
+                await write_message(
+                    writer,
+                    {
+                        "type": "error",
+                        "message": f"{len(failures)} of {len(jobs)} jobs failed: {failures[0]}",
+                    },
+                )
+            return
+        async with write_lock:
+            await write_message(
+                writer,
+                {
+                    "type": "done",
+                    "total": len(jobs),
+                    "executed": counts["executed"],
+                    "cached": counts["cached"],
+                    "joined": counts["joined"],
+                },
+            )
+        logger.info(
+            "sweep %d: %d jobs, %d cached, %d joined, %d executed",
+            sweep_id,
+            len(jobs),
+            counts["cached"],
+            counts["joined"],
+            counts["executed"],
+        )
+
+    async def _handle_worker(
+        self,
+        message: Dict[str, object],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        peer: object,
+    ) -> None:
+        capacity = int(message.get("workers", 1))  # type: ignore[arg-type]
+        pool = RemoteWorkerPool(
+            name=f"worker@{peer}", writer=writer, write_lock=write_lock, capacity=capacity
+        )
+        async with write_lock:
+            await write_message(
+                writer, {"type": "attached", "protocol": PROTOCOL_VERSION}
+            )
+        self._add_pool(pool)
+        logger.info("worker attached: %s (%d slots)", pool.name, pool.capacity)
+        try:
+            while True:
+                reply = await read_message(reader)
+                if reply is None:
+                    break
+                kind = reply["type"]
+                if kind == "job_result":
+                    result = reply.get("result")
+                    if isinstance(result, dict):
+                        pool.resolve(str(reply.get("spec_hash")), result)
+                elif kind == "job_error":
+                    pool.fail(
+                        str(reply.get("spec_hash")), str(reply.get("message", "worker error"))
+                    )
+                # anything else from a worker is ignored
+        except (ProtocolError, ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._remove_pool(pool)
+            pool.close()
+            logger.info("worker detached: %s", pool.name)
+
+
+def run_server(
+    store_dir: Optional[str] = None,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    workers: int = 2,
+) -> int:
+    """Blocking entry point behind ``repro serve``: run until interrupted."""
+
+    async def _main() -> None:
+        server = JobServer(
+            store=ResultStore(store_dir),
+            host=host,
+            port=port,
+            local_workers=workers,
+        )
+        await server.start()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        logger.info("interrupted; shutting down")
+    return 0

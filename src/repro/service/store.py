@@ -1,0 +1,192 @@
+"""Content-addressed on-disk result store.
+
+Every job is addressed by the SHA-256 of its spec's canonical JSON
+(:meth:`repro.api.spec.SweepSpec.content_hash`).  Because runs are
+bit-reproducible from their spec, the stored result for a hash is the *exact*
+result of every future run of that spec — the cache can serve unbounded
+repeat traffic without approximation.
+
+Layout (under the store root, default ``~/.cache/repro/results``)::
+
+    <root>/<hash[:2]>/<hash>.json     one result document per job
+    <root>/journal.jsonl              write-ahead job journal (see journal.py)
+
+Result files fan out over 256 two-hex-digit shard directories so a
+million-job sweep does not put a million entries in one directory.  Each
+document embeds a checksum of its result payload; a corrupt or truncated
+file — a crash mid-write on a filesystem without atomic-rename guarantees,
+bit rot, a partial copy — is detected on read and treated as a cache miss,
+never served.  Writers stage to a unique temporary file in the final shard
+directory and ``os.replace`` it into place, so concurrent writers of the
+same hash cannot tear each other's files: readers always see either the old
+complete document or the new complete document.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from typing import Dict, Iterator, Optional, Union
+
+from ..api.results import RunResult
+from ..common.canonical import canonical_dumps, content_digest
+
+__all__ = ["ResultStore", "default_store_root"]
+
+logger = logging.getLogger("repro.service.store")
+
+#: Schema version stamped into every stored document.
+STORE_FORMAT_VERSION = 1
+
+
+def default_store_root() -> str:
+    """The conventional store location: ``~/.cache/repro/results``.
+
+    ``REPRO_CACHE_DIR`` overrides the base directory entirely; otherwise
+    ``XDG_CACHE_HOME`` (or ``~/.cache``) is honoured.
+    """
+    base = os.environ.get("REPRO_CACHE_DIR")
+    if not base:
+        xdg = os.environ.get("XDG_CACHE_HOME")
+        base = os.path.join(xdg, "repro") if xdg else os.path.expanduser(
+            os.path.join("~", ".cache", "repro")
+        )
+    return os.path.join(base, "results")
+
+
+class ResultStore:
+    """Content-addressed result cache keyed by spec hash.
+
+    The store speaks two levels: raw JSON-safe dictionaries
+    (:meth:`get_dict` / :meth:`put_dict`), which the job server uses so the
+    bytes a client receives on a cache hit are exactly the bytes of the first
+    execution, and :class:`~repro.api.results.RunResult` objects
+    (:meth:`load` / :meth:`save`) for programmatic use.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike, None] = None) -> None:
+        self.root = os.fspath(root) if root is not None else default_store_root()
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- layout ------------------------------------------------------------------
+
+    def path_for(self, spec_hash: str) -> str:
+        """Where the result document for ``spec_hash`` lives (or would live)."""
+        if len(spec_hash) < 3 or any(c not in "0123456789abcdef" for c in spec_hash):
+            raise ValueError(f"not a spec hash: {spec_hash!r}")
+        return os.path.join(self.root, spec_hash[:2], f"{spec_hash}.json")
+
+    def journal_path(self) -> str:
+        """Where the write-ahead job journal for this store lives."""
+        return os.path.join(self.root, "journal.jsonl")
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return self.get_dict(spec_hash) is not None
+
+    def iter_hashes(self) -> Iterator[str]:
+        """All hashes with a result document on disk (validity not checked)."""
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[: -len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_hashes())
+
+    # -- dictionary-level access (the server's path) -----------------------------
+
+    def get_dict(self, spec_hash: str) -> Optional[Dict[str, object]]:
+        """The stored result payload for ``spec_hash``, or ``None`` on a miss.
+
+        Every failure mode — no file, unreadable file, invalid JSON, wrong
+        document shape, checksum mismatch (truncation, corruption) — is a
+        cache miss: the job simply re-executes, and the rewrite heals the
+        entry.  A corrupt file is logged but never raised.
+        """
+        path = self.path_for(spec_hash)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            logger.warning("corrupt result file %s (%s); treating as miss", path, exc)
+            return None
+        if not isinstance(document, dict):
+            logger.warning("malformed result file %s; treating as miss", path)
+            return None
+        result = document.get("result")
+        checksum = document.get("checksum")
+        if not isinstance(result, dict) or not isinstance(checksum, str):
+            logger.warning("malformed result file %s; treating as miss", path)
+            return None
+        if content_digest(result) != checksum:
+            logger.warning(
+                "checksum mismatch in result file %s; treating as miss", path
+            )
+            return None
+        return result
+
+    def put_dict(
+        self,
+        spec_hash: str,
+        result: Dict[str, object],
+        spec: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Commit ``result`` (a ``RunResult.as_dict`` payload) under ``spec_hash``.
+
+        The document is written canonically (sorted keys) to a unique
+        temporary file in the final directory and atomically renamed into
+        place, so a reader or a concurrent writer never observes a torn file.
+        Returns the normalized (canonical key order) result payload — the
+        server sends exactly this to clients, whether the job was executed
+        just now or served from the cache, so responses are byte-identical
+        across submissions.
+        """
+        document = {
+            "format_version": STORE_FORMAT_VERSION,
+            "spec_hash": spec_hash,
+            "checksum": content_digest(result),
+            "result": result,
+        }
+        if spec is not None:
+            document["spec"] = spec
+        payload = canonical_dumps(document)
+        path = self.path_for(spec_hash)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=f".{spec_hash[:12]}.", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        normalized = json.loads(payload)["result"]
+        assert isinstance(normalized, dict)
+        return normalized
+
+    # -- RunResult-level access --------------------------------------------------
+
+    def load(self, spec_hash: str) -> Optional[RunResult]:
+        """The cached :class:`RunResult` for ``spec_hash``, or ``None``."""
+        payload = self.get_dict(spec_hash)
+        if payload is None:
+            return None
+        return RunResult.from_dict(payload)
+
+    def save(self, spec_hash: str, result: RunResult) -> None:
+        """Commit a :class:`RunResult` under ``spec_hash``."""
+        self.put_dict(spec_hash, result.as_dict())

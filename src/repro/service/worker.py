@@ -1,0 +1,150 @@
+"""The ``repro worker --connect`` loop: attach this host's cores to a server.
+
+A worker opens one connection to a running ``repro serve``, announces its
+capacity with an ``attach`` message, and then executes every ``job`` the
+server pushes in a local :class:`~concurrent.futures.ProcessPoolExecutor`,
+streaming ``job_result``/``job_error`` messages back.  The server shards
+uncached jobs across all attached workers (plus its own local pool) by spec
+hash, so extra hosts attach with a single command and detach by exiting —
+in-flight jobs are re-dispatched by the server when the connection drops.
+
+Determinism is unaffected by where a job runs: the worker rebuilds the
+workload from the spec's seed exactly like a local pool process would, so
+results are bit-identical regardless of which host executed them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional
+
+from .protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    MESSAGE_LIMIT,
+    PROTOCOL_VERSION,
+    read_message,
+    write_message,
+)
+from .server import _execute_spec_dict
+
+__all__ = ["run_worker"]
+
+logger = logging.getLogger("repro.service.worker")
+
+
+async def _connect_with_retry(
+    host: str, port: int, connect_timeout: float
+) -> "tuple[asyncio.StreamReader, asyncio.StreamWriter]":
+    """Open a connection, retrying while the server comes up.
+
+    Workers are routinely started alongside (or before) ``repro serve``; a
+    refused connection just means the server isn't listening *yet*, so keep
+    trying until ``connect_timeout`` elapses.
+    """
+    deadline = asyncio.get_running_loop().time() + connect_timeout
+    while True:
+        try:
+            return await asyncio.open_connection(host, port, limit=MESSAGE_LIMIT)
+        except OSError as exc:
+            if asyncio.get_running_loop().time() >= deadline:
+                raise ConnectionError(
+                    f"no repro serve at {host}:{port} after {connect_timeout:.0f}s ({exc})"
+                ) from exc
+            logger.info("server %s:%d not ready (%s); retrying", host, port, exc)
+            await asyncio.sleep(0.5)
+
+
+async def worker_loop(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    workers: int = 2,
+    max_jobs: Optional[int] = None,
+    connect_timeout: float = 60.0,
+) -> int:
+    """Connect, attach, and execute pushed jobs until the server goes away.
+
+    ``max_jobs`` bounds how many jobs are executed before detaching (used by
+    tests); ``None`` means serve until the connection closes.  Returns the
+    number of jobs executed.
+    """
+    reader, writer = await _connect_with_retry(host, port, connect_timeout)
+    executor = ProcessPoolExecutor(max_workers=workers)
+    write_lock = asyncio.Lock()
+    executed = 0
+    try:
+        await write_message(
+            writer,
+            {"type": "attach", "workers": workers, "protocol": PROTOCOL_VERSION},
+        )
+        ack = await read_message(reader)
+        if ack is None or ack.get("type") != "attached":
+            raise ConnectionError(f"server refused attach: {ack!r}")
+        logger.info("attached to %s:%d with %d worker processes", host, port, workers)
+
+        loop = asyncio.get_running_loop()
+        tasks: set = set()
+
+        async def run_job(spec_hash: str, spec_dict: Dict[str, object]) -> None:
+            try:
+                result = await loop.run_in_executor(
+                    executor, _execute_spec_dict, spec_dict
+                )
+            except Exception as exc:
+                logger.error("job %s failed: %s", spec_hash[:12], exc)
+                async with write_lock:
+                    await write_message(
+                        writer,
+                        {
+                            "type": "job_error",
+                            "spec_hash": spec_hash,
+                            "message": str(exc),
+                        },
+                    )
+                return
+            async with write_lock:
+                await write_message(
+                    writer,
+                    {"type": "job_result", "spec_hash": spec_hash, "result": result},
+                )
+
+        while max_jobs is None or executed < max_jobs:
+            message = await read_message(reader)
+            if message is None or message.get("type") == "shutdown":
+                break
+            if message.get("type") != "job":
+                continue
+            spec_hash = str(message.get("spec_hash"))
+            spec_dict = message.get("spec")
+            if not isinstance(spec_dict, dict):
+                continue
+            task = asyncio.create_task(run_job(spec_hash, spec_dict))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+            executed += 1
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        logger.info("detached after %d jobs", executed)
+    return executed
+
+
+def run_worker(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    workers: int = 2,
+) -> int:
+    """Blocking entry point behind ``repro worker``: attach until interrupted."""
+    try:
+        asyncio.run(worker_loop(host=host, port=port, workers=workers))
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        logger.info("interrupted; detaching")
+    return 0

@@ -1,0 +1,173 @@
+"""CLI coverage for the service commands and clean unknown-name errors.
+
+Two groups:
+
+* ``serve`` / ``submit`` / ``worker`` argument handling and offline error
+  paths (no server running), exercised in process for speed, plus one real
+  subprocess round trip: serve → submit → resubmit-from-cache.
+* Regression pins for satellite error reporting: an unknown simulator,
+  benchmark or bench shape must exit non-zero with a one-line message that
+  lists the valid names — never a bare traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api.cli import build_parser, main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _run_module(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=_env(),
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestParser:
+    def test_service_commands_parse(self):
+        parser = build_parser()
+        serve = parser.parse_args(["serve", "--port", "9000", "--workers", "0"])
+        assert serve.command == "serve" and serve.workers == 0
+        submit = parser.parse_args(
+            ["submit", "--simulators", "interval,oneipc", "--instructions", "2000"]
+        )
+        assert submit.command == "submit" and submit.simulators == "interval,oneipc"
+        worker = parser.parse_args(["worker", "--connect", "10.0.0.1:8750"])
+        assert worker.command == "worker" and worker.connect == "10.0.0.1:8750"
+
+
+class TestOfflineErrors:
+    """Service commands against no server: clean failures, correct codes."""
+
+    def test_ping_with_no_server_exits_one(self, capsys):
+        port = _free_port()
+        assert main(["submit", "--ping", "--port", str(port)]) == 1
+        assert "no server" in capsys.readouterr().err
+
+    def test_submit_with_no_server_exits_two(self, capsys):
+        port = _free_port()
+        code = main(
+            ["submit", "--port", str(port), "--instructions", "1000"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "is the server running" in err
+
+    def test_submit_unknown_simulator_fails_before_connecting(self, capsys):
+        code = main(["submit", "--simulators", "nope", "--port", str(_free_port())])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown simulator" in err and "interval" in err
+
+    def test_worker_rejects_malformed_connect(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["worker", "--connect", "not-an-address"])
+
+
+class TestUnknownNameErrors:
+    """Unknown simulator/benchmark/shape → non-zero exit + valid names listed."""
+
+    def test_run_unknown_simulator(self):
+        proc = _run_module("run", "--simulator", "nope")
+        assert proc.returncode == 2
+        assert "unknown simulator 'nope'" in proc.stderr
+        for name in ("interval", "detailed", "oneipc"):
+            assert name in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_run_unknown_benchmark(self):
+        proc = _run_module(
+            "run", "--benchmark", "nope", "--instructions", "1000"
+        )
+        assert proc.returncode == 2
+        assert "unknown benchmark" in proc.stderr and "gcc" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_bench_unknown_shape(self):
+        proc = _run_module("bench", "--shape", "nope")
+        assert proc.returncode != 0
+        assert "unknown bench shape 'nope'" in proc.stderr
+        assert "gcc" in proc.stderr and "sync" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_bench_unknown_simulator(self):
+        proc = _run_module("bench", "--simulators", "nope")
+        assert proc.returncode != 0
+        assert "unknown simulator" in proc.stderr and "interval" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+
+class TestServeSubmitRoundTrip:
+    def test_submit_then_resubmit_hits_cache(self, tmp_path):
+        """Real processes: serve, submit, resubmit → second run all cached."""
+        port = _free_port()
+        store = tmp_path / "store"
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", str(port), "--store", str(store), "--workers", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_env(),
+            cwd=REPO_ROOT,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                probe = _run_module("submit", "--ping", "--port", str(port))
+                if probe.returncode == 0:
+                    break
+                assert server.poll() is None, "server died during startup"
+                time.sleep(0.2)
+            else:
+                pytest.fail("server never became ready")
+
+            submit_args = (
+                "submit", "--port", str(port),
+                "--simulators", "oneipc",
+                "--instructions", "1500", "--warmup", "300",
+            )
+            first = _run_module(*submit_args)
+            assert first.returncode == 0, first.stderr
+            assert "1 jobs: 1 executed, 0 cached, 0 joined" in first.stdout
+            second = _run_module(*submit_args)
+            assert second.returncode == 0, second.stderr
+            assert "1 jobs: 0 executed, 1 cached, 0 joined" in second.stdout
+        finally:
+            server.send_signal(signal.SIGINT)
+            try:
+                server.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait(timeout=20)

@@ -1,0 +1,68 @@
+"""The write-ahead job journal: replay semantics and crash tolerance."""
+
+from __future__ import annotations
+
+from repro.service.journal import JobJournal
+
+H1, H2, H3 = ("a" * 64, "b" * 64, "c" * 64)
+SPEC = {"simulator": "interval", "workload": {"benchmark": "gcc"}}
+
+
+class TestReplay:
+    def test_enqueued_without_commit_is_pending(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.record_enqueue(H1, SPEC)
+            journal.record_enqueue(H2, SPEC)
+            journal.record_commit(H1)
+        with JobJournal(path) as journal:
+            assert journal.replay() == {H2: SPEC}
+
+    def test_empty_and_missing_journals_replay_empty(self, tmp_path):
+        with JobJournal(tmp_path / "fresh.jsonl") as journal:
+            assert journal.replay() == {}
+
+    def test_replay_spans_process_restarts(self, tmp_path):
+        """Records from a previous journal instance are replayed by the next."""
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.record_enqueue(H1, SPEC)
+        with JobJournal(path) as journal:
+            journal.record_enqueue(H2, SPEC)
+            journal.record_commit(H2)
+            journal.record_enqueue(H3, SPEC)
+            assert journal.replay() == {H1: SPEC, H3: SPEC}
+
+    def test_commit_before_reenqueue_still_pends(self, tmp_path):
+        """Re-enqueueing after a commit (job re-runs) makes it pending again."""
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.record_enqueue(H1, SPEC)
+            journal.record_commit(H1)
+            journal.record_enqueue(H1, SPEC)
+            assert journal.replay() == {H1: SPEC}
+
+
+class TestCrashTolerance:
+    def test_torn_tail_line_is_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.record_enqueue(H1, SPEC)
+            journal.record_enqueue(H2, SPEC)
+            journal.record_commit(H2)
+        # Simulate a crash mid-append: a torn, unparseable final line.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event":"commit","spec_ha')
+        with JobJournal(path) as journal:
+            assert journal.replay() == {H1: SPEC}
+            # And the journal is still appendable afterwards.
+            journal.record_commit(H1)
+        with JobJournal(path) as journal:
+            assert journal.replay() == {}
+
+    def test_non_object_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('[1,2,3]\n\n{"event":"enqueue"}\n')
+        with JobJournal(path) as journal:
+            assert journal.replay() == {}

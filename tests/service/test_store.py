@@ -1,0 +1,173 @@
+"""The content-addressed result store: layout, corruption, concurrency."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.api.results import RunResult
+from repro.common.stats import CoreStats, SimulationStats
+from repro.service.store import ResultStore, default_store_root
+
+HASH_A = "ab" + "0" * 62
+HASH_B = "ab" + "1" * 62  # same shard prefix as HASH_A
+HASH_C = "cd" + "0" * 62
+
+
+def _payload(value: int) -> dict:
+    return {"simulator": "interval", "workload": "gcc", "value": value}
+
+
+class TestLayout:
+    def test_sharded_by_hash_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.path_for(HASH_A) == os.path.join(
+            str(tmp_path), "ab", f"{HASH_A}.json"
+        )
+
+    def test_same_prefix_hashes_coexist(self, tmp_path):
+        """Two hashes sharing a shard directory are independent entries."""
+        store = ResultStore(tmp_path)
+        store.put_dict(HASH_A, _payload(1))
+        store.put_dict(HASH_B, _payload(2))
+        assert store.get_dict(HASH_A) == _payload(1)
+        assert store.get_dict(HASH_B) == _payload(2)
+        assert sorted(store.iter_hashes()) == sorted([HASH_A, HASH_B])
+        assert len(store) == 2
+
+    def test_rejects_non_hash_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.path_for("../../etc/passwd")
+
+    def test_default_root_honours_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert default_store_root() == str(tmp_path / "cache" / "results")
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_store_root() == str(tmp_path / "xdg" / "repro" / "results")
+
+
+class TestRoundTrip:
+    def test_put_get_is_exact(self, tmp_path):
+        store = ResultStore(tmp_path)
+        payload = _payload(7)
+        normalized = store.put_dict(HASH_A, payload, spec={"simulator": "interval"})
+        assert store.get_dict(HASH_A) == normalized == payload
+        # The normalized payload is in canonical (sorted) key order: the
+        # server sends it verbatim so repeat submissions are byte-identical.
+        assert list(normalized) == sorted(normalized)
+
+    def test_runresult_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = RunResult(
+            simulator="interval",
+            workload="gcc",
+            stats=SimulationStats(
+                cores=[CoreStats(core_id=0, instructions=100, cycles=250)],
+                total_cycles=250,
+                wall_clock_seconds=0.5,
+                simulator="interval",
+            ),
+            parameters={"seed": 3},
+        )
+        store.save(HASH_C, result)
+        loaded = store.load(HASH_C)
+        assert loaded is not None
+        assert loaded.to_canonical_json() == result.to_canonical_json()
+
+    def test_missing_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get_dict(HASH_A) is None
+        assert store.load(HASH_A) is None
+        assert HASH_A not in store
+
+    def test_overwrite_replaces(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_dict(HASH_A, _payload(1))
+        store.put_dict(HASH_A, _payload(2))
+        assert store.get_dict(HASH_A) == _payload(2)
+        assert len(store) == 1
+
+
+class TestCorruptionDetection:
+    def _stored(self, tmp_path) -> ResultStore:
+        store = ResultStore(tmp_path)
+        store.put_dict(HASH_A, _payload(9))
+        return store
+
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        store = self._stored(tmp_path)
+        path = store.path_for(HASH_A)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        assert store.get_dict(HASH_A) is None
+
+    def test_flipped_payload_byte_is_a_miss(self, tmp_path):
+        """Valid JSON whose result no longer matches its checksum is rejected."""
+        store = self._stored(tmp_path)
+        path = store.path_for(HASH_A)
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        document["result"]["value"] = 10  # corrupt without touching the checksum
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        assert store.get_dict(HASH_A) is None
+
+    def test_garbage_file_is_a_miss(self, tmp_path):
+        store = self._stored(tmp_path)
+        with open(store.path_for(HASH_A), "w", encoding="utf-8") as handle:
+            handle.write("not json {{{")
+        assert store.get_dict(HASH_A) is None
+
+    def test_wrong_shape_is_a_miss(self, tmp_path):
+        store = self._stored(tmp_path)
+        with open(store.path_for(HASH_A), "w", encoding="utf-8") as handle:
+            json.dump(["a", "list"], handle)
+        assert store.get_dict(HASH_A) is None
+
+    def test_miss_heals_on_rewrite(self, tmp_path):
+        store = self._stored(tmp_path)
+        with open(store.path_for(HASH_A), "w", encoding="utf-8") as handle:
+            handle.write("garbage")
+        assert store.get_dict(HASH_A) is None
+        store.put_dict(HASH_A, _payload(9))
+        assert store.get_dict(HASH_A) == _payload(9)
+
+
+class TestConcurrentWriters:
+    def test_writers_never_tear_files(self, tmp_path):
+        """Racing writers + a racing reader: every read sees a complete doc.
+
+        Writes stage to a unique temp file and atomically rename, so the
+        reader must always observe one of the committed payloads — never a
+        half-written file (which the checksum would reject as None).
+        """
+        store = ResultStore(tmp_path)
+        store.put_dict(HASH_A, _payload(-1))
+        iterations = 60
+        errors = []
+
+        def writer(worker_id: int) -> None:
+            for i in range(iterations):
+                store.put_dict(HASH_A, _payload(worker_id * iterations + i))
+
+        def reader() -> None:
+            for _ in range(iterations * 4):
+                payload = store.get_dict(HASH_A)
+                if payload is None or "value" not in payload:
+                    errors.append(payload)
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(4)]
+        threads.append(threading.Thread(target=reader))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # No stray temp files left behind.
+        shard_dir = os.path.dirname(store.path_for(HASH_A))
+        assert os.listdir(shard_dir) == [f"{HASH_A}.json"]

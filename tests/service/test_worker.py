@@ -1,0 +1,138 @@
+"""Remote workers: attach, execute pushed jobs, detach cleanly."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List
+
+import pytest
+
+from repro.api.session import run_spec
+from repro.api.spec import SweepSpec, WorkloadSpec
+from repro.common.config import default_machine_config
+from repro.service.client import ServiceClient
+from repro.service.server import JobServer
+from repro.service.store import ResultStore
+from repro.service.worker import worker_loop
+
+
+def _specs(count: int = 2) -> List[SweepSpec]:
+    return [
+        SweepSpec(
+            simulator="oneipc",
+            workload=WorkloadSpec(
+                kind="single", benchmark="gcc", instructions=1_500, seed=seed
+            ),
+            machine=default_machine_config(),
+            warmup_instructions=300,
+        )
+        for seed in range(count)
+    ]
+
+
+async def _submit(host: str, port: int, specs):
+    return await asyncio.get_running_loop().run_in_executor(
+        None, ServiceClient(host, port).submit, specs
+    )
+
+
+class TestConnectRetry:
+    def test_no_server_raises_after_timeout(self):
+        """A dead address fails with a clear error once the deadline passes."""
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            dead_port = sock.getsockname()[1]
+        with pytest.raises(ConnectionError, match="no repro serve"):
+            asyncio.run(worker_loop("127.0.0.1", dead_port, connect_timeout=0.0))
+
+    def test_worker_outlives_a_late_server(self, tmp_path):
+        """A worker started before the server retries until it can attach."""
+        specs = _specs(1)
+
+        async def scenario():
+            server = JobServer(store=ResultStore(tmp_path), port=0, local_workers=0)
+            # Reserve a port, start the worker against it FIRST, then serve.
+            import socket
+
+            with socket.socket() as sock:
+                sock.bind(("127.0.0.1", 0))
+                port = sock.getsockname()[1]
+            server.port = port
+            worker = asyncio.create_task(
+                worker_loop("127.0.0.1", port, workers=1, max_jobs=1)
+            )
+            await asyncio.sleep(0.8)  # worker is already retrying by now
+            host, bound_port = await server.start()
+            assert bound_port == port
+            try:
+                outcome = await _submit(host, port, specs)
+                executed = await asyncio.wait_for(worker, timeout=30)
+                return outcome, executed
+            finally:
+                worker.cancel()
+                await server.stop()
+
+        outcome, executed = asyncio.run(scenario())
+        assert outcome.executed == 1 and executed == 1
+
+
+class TestRemoteWorker:
+    def test_remote_only_server_executes_via_attached_worker(self, tmp_path):
+        """A ``--workers 0`` server runs jobs entirely on an attached worker."""
+        specs = _specs(2)
+
+        async def scenario():
+            server = JobServer(store=ResultStore(tmp_path), port=0, local_workers=0)
+            host, port = await server.start()
+            worker = asyncio.create_task(
+                worker_loop(host, port, workers=2, max_jobs=len(specs))
+            )
+            try:
+                outcome = await _submit(host, port, specs)
+                executed_by_worker = await asyncio.wait_for(worker, timeout=30)
+                return outcome, executed_by_worker
+            finally:
+                worker.cancel()
+                await server.stop()
+
+        outcome, executed_by_worker = asyncio.run(scenario())
+        assert outcome.executed == len(specs)
+        assert executed_by_worker == len(specs)
+        reference = [run_spec(spec) for spec in specs]
+        assert [r.stats.deterministic_dict() for r in outcome.results] == [
+            r.stats.deterministic_dict() for r in reference
+        ]
+
+    def test_worker_detach_removes_its_pool(self, tmp_path):
+        """After the worker detaches, the server no longer advertises its pool."""
+
+        async def scenario():
+            server = JobServer(store=ResultStore(tmp_path), port=0, local_workers=0)
+            host, port = await server.start()
+            worker = asyncio.create_task(worker_loop(host, port, workers=1))
+            try:
+                # The idle worker stays attached, blocked waiting for jobs.
+                for _ in range(200):
+                    if server._pools:
+                        break
+                    await asyncio.sleep(0.01)
+                attached = len(server._pools)
+                # Kill the worker: its connection drops and the pool goes away.
+                worker.cancel()
+                try:
+                    await worker
+                except asyncio.CancelledError:
+                    pass
+                for _ in range(200):
+                    if not server._pools:
+                        break
+                    await asyncio.sleep(0.01)
+                return attached, len(server._pools)
+            finally:
+                await server.stop()
+
+        attached, remaining = asyncio.run(scenario())
+        assert attached == 1
+        assert remaining == 0
