@@ -8,12 +8,14 @@ model-level quantity that explains it, miss events per instruction — the
 interval-at-a-time kernel pays real work only at events.
 
 The trajectory is a **multi-workload** one: :data:`BENCH_SHAPES` defines
-three canonical shapes that stress different kernel paths — ``gcc``
-(compute-bound single thread, the historical default), ``mcf`` (memory-bound
-single thread: the D-side probe and DRAM paths dominate) and ``sync``
-(PARSEC-like sync-heavy multithreaded: barriers, locks and the multi-core
-event heap dominate).  :func:`run_multi_shape_suite` measures every model on
-every shape.
+canonical shapes that stress different kernel paths — ``gcc`` (compute-bound
+single thread, the historical default), ``mcf`` (memory-bound single thread:
+the D-side probe and DRAM paths dominate), ``sync`` (PARSEC-like sync-heavy
+multithreaded: barriers, locks and the multi-core event heap dominate) and
+the many-core scale-out shapes ``sync64``/``sync256`` (64 and 256 simulated
+cores: the parked-barrier driver dominates — blocked cores leave the event
+heap entirely).  :func:`run_multi_shape_suite` measures every model on every
+shape.
 
 The suite powers three front ends:
 
@@ -39,7 +41,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..common.config import default_machine_config
 from ..common.stats import Stopwatch
-from ..trace.workloads import multithreaded_workload, single_threaded_workload
+from ..trace.workloads import (
+    manycore_workload,
+    multithreaded_workload,
+    single_threaded_workload,
+)
 from .registry import DEFAULT_REGISTRY, SimulatorRegistry
 
 __all__ = [
@@ -76,11 +82,12 @@ class BenchShape:
     description:
         What the shape stresses.
     kind:
-        ``"single"`` (one thread, one core) or ``"multithreaded"``.
+        ``"single"`` (one thread, one core), ``"multithreaded"`` or
+        ``"manycore"`` (weak-scaling many-core family).
     benchmark:
         Profile name resolved through :mod:`repro.trace.workloads`.
     threads:
-        Thread (= core) count for multithreaded shapes.
+        Thread (= core) count for multithreaded/manycore shapes.
     """
 
     name: str
@@ -90,12 +97,25 @@ class BenchShape:
     threads: int = 1
 
     def build_workload(self, instructions: int, seed: int):
-        """Instantiate the shape's deterministic workload."""
+        """Instantiate the shape's deterministic workload.
+
+        ``instructions`` is the *total* instruction budget for every kind —
+        for ``"manycore"`` it is divided evenly across the threads (floored,
+        at least one instruction each) so a 64-core run costs the same
+        simulated work as the 4-core ``sync`` shape, not 16x more.
+        """
         if self.kind == "multithreaded":
             return multithreaded_workload(
                 self.benchmark,
                 self.threads,
                 total_instructions=instructions,
+                seed=seed,
+            )
+        if self.kind == "manycore":
+            return manycore_workload(
+                self.benchmark,
+                self.threads,
+                instructions_per_thread=max(1, instructions // self.threads),
                 seed=seed,
             )
         return single_threaded_workload(
@@ -127,6 +147,22 @@ BENCH_SHAPES: Dict[str, BenchShape] = {
         kind="multithreaded",
         benchmark="fluidanimate",
         threads=4,
+    ),
+    "sync64": BenchShape(
+        name="sync64",
+        description="many-core sync-heavy (fluidanimate), 64 threads with "
+        "barriers/locks (parked-barrier event driver at scale)",
+        kind="manycore",
+        benchmark="fluidanimate",
+        threads=64,
+    ),
+    "sync256": BenchShape(
+        name="sync256",
+        description="many-core smoke (fluidanimate), 256 threads "
+        "(parked-driver scale-out ceiling)",
+        kind="manycore",
+        benchmark="fluidanimate",
+        threads=256,
     ),
 }
 
@@ -214,6 +250,12 @@ def run_throughput_suite(
             "total_miss_events": stats.total_miss_events,
             "events_per_instruction": stats.events_per_instruction,
             "aggregate_ipc": stats.aggregate_ipc,
+            # Parked-driver observability: heap pops and park bookkeeping of
+            # the fastest round (bit-identical across rounds, so any round's
+            # counters describe the run).
+            "events_popped": stats.driver_stats.get("events_popped", 0),
+            "cores_parked": stats.driver_stats.get("cores_parked", 0),
+            "park_cycles_skipped": stats.driver_stats.get("park_cycles_skipped", 0),
         }
 
     speedups: Dict[str, float] = {}
@@ -408,6 +450,7 @@ def _render_shape(workload: Mapping[str, object], fragment: Mapping[str, object]
                 float(row["simulated_kips"]),
                 float(row["events_per_instruction"]),
                 float(row["aggregate_ipc"]),
+                int(row.get("events_popped", 0)),
                 float(row["best_wall_seconds"]) * 1000.0,
                 float(speedups.get(name, 1.0)) if name != "detailed" else 1.0,
             )
@@ -422,6 +465,7 @@ def _render_shape(workload: Mapping[str, object], fragment: Mapping[str, object]
             "timed KIPS",
             "events/instr",
             "IPC",
+            "heap pops",
             "best ms",
             "speedup vs detailed",
         ],

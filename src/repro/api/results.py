@@ -83,6 +83,11 @@ class RunResult:
                 "simulated_kips": self.simulated_kips,
                 "events_per_instruction": self.events_per_instruction,
                 "aggregate_ipc": self.stats.aggregate_ipc,
+                "events_popped": self.stats.driver_stats.get("events_popped", 0),
+                "cores_parked": self.stats.driver_stats.get("cores_parked", 0),
+                "park_cycles_skipped": self.stats.driver_stats.get(
+                    "park_cycles_skipped", 0
+                ),
             },
             "stats": self.stats.as_dict(),
         }

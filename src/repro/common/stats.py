@@ -248,6 +248,13 @@ class SimulationStats:
     simulator:
         Name of the simulator that produced the run ("interval", "detailed",
         "oneipc"), recorded so result tables can label their rows.
+    driver_stats:
+        Event-driver observability counters (``events_popped``,
+        ``cores_parked``, ``park_cycles_skipped``).  They quantify host-side
+        heap traffic, not simulated behavior — like wall-clock time they are
+        excluded from :meth:`deterministic_dict` (the spin and parked
+        drivers produce identical simulated statistics but very different
+        heap-pop counts).
     """
 
     cores: List[CoreStats] = field(default_factory=list)
@@ -255,6 +262,7 @@ class SimulationStats:
     wall_clock_seconds: float = 0.0
     simulator: str = ""
     memory_stats: Dict[str, int] = field(default_factory=dict)
+    driver_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def num_cores(self) -> int:
@@ -311,17 +319,23 @@ class SimulationStats:
             "wall_clock_seconds": self.wall_clock_seconds,
             "cores": [core.as_dict() for core in self.cores],
             "memory": dict(self.memory_stats),
+            "driver": dict(self.driver_stats),
         }
 
     def deterministic_dict(self) -> Dict[str, object]:
-        """:meth:`as_dict` without host-dependent timing.
+        """:meth:`as_dict` without host-dependent timing or driver traffic.
 
-        Wall-clock time varies run to run even for identical simulations, so
-        reproducibility checks (e.g. parallel-versus-sequential sweeps)
-        compare this dictionary instead of :meth:`as_dict`.
+        Wall-clock time varies run to run even for identical simulations,
+        and the driver counters measure host-side heap traffic (which the
+        parked and spin drivers trade off differently while producing
+        identical simulated results), so reproducibility checks (e.g.
+        parallel-versus-sequential sweeps, the golden corpus, the
+        spin/parked equivalence rig) compare this dictionary instead of
+        :meth:`as_dict`.
         """
         result = self.as_dict()
         result.pop("wall_clock_seconds", None)
+        result.pop("driver", None)
         return result
 
     @classmethod
@@ -335,6 +349,10 @@ class SimulationStats:
             memory_stats={
                 str(key): int(value)
                 for key, value in dict(data.get("memory", {})).items()
+            },
+            driver_stats={
+                str(key): int(value)
+                for key, value in dict(data.get("driver", {})).items()
             },
         )
 

@@ -19,8 +19,9 @@ considers the instruction at the window head and classifies it:
 Every miss event empties the old window, modeling the interval-length effect.
 Synchronization pseudo-instructions (barriers, locks) are interpreted through
 the shared :class:`~repro.multicore.sync.SynchronizationManager`; a core that
-must wait simply stalls for the cycle, so inter-thread timing emerges from
-the interleaving of per-core simulated times.
+must wait blocks and is parked off the event heap until the release (or, under
+the spin reference driver, stalls one cycle at a time), so inter-thread timing
+emerges from the interleaving of per-core simulated times.
 
 Execution engine
 ----------------
@@ -167,6 +168,11 @@ class IntervalCore(ColumnarKernelCore):
                 if self._waiting_barrier == sync_object and not sync_mgr.barrier_released(
                     sync_object
                 ):
+                    if self.park_blocked:
+                        # Nothing was charged yet this cycle: stall cycles
+                        # from sim_time on are back-filled at wake.
+                        self._park(False, sync_object, sim_time, sim_time)
+                        return
                     # Already arrived, barrier still closed: every remaining
                     # cycle re-checks without side effects.
                     span = self._blocked_stall_span(sim_time, run_until)
@@ -176,6 +182,11 @@ class IntervalCore(ColumnarKernelCore):
             elif kind == _SK_LOCK_ACQUIRE and self._thread_id is not None:
                 holder = sync_mgr.lock_holder(sync_object)
                 if holder is not None and holder != self._thread_id:
+                    if self.park_blocked:
+                        # Neither the stall nor this cycle's failing acquire
+                        # attempt was charged: both back-fill from sim_time.
+                        self._park(True, sync_object, sim_time, sim_time)
+                        return
                     # Contended lock: every remaining cycle performs one
                     # failing acquire attempt.
                     span = self._blocked_stall_span(sim_time, run_until)
@@ -230,6 +241,8 @@ class IntervalCore(ColumnarKernelCore):
         trim_at = 4 * ow_cap
         instr_count = stats.instructions
 
+        park_blocked = self.park_blocked
+        yield_at_cycle_end = False
         while sim_time < run_until and not self.finished:
             if head >= n:
                 break  # window empty at cycle start (empty trace)
@@ -257,7 +270,7 @@ class IntervalCore(ColumnarKernelCore):
                         head, tail, fetch_limit, sim_time, instr_count,
                         ow_head_t, ow_tail_t,
                     )
-                    self._finish()
+                    self._finish(mct)
                     return
 
                 k = klass[head]
@@ -320,19 +333,45 @@ class IntervalCore(ColumnarKernelCore):
                             head, tail, fetch_limit, sim_time, instr_count,
                             ow_head_t, ow_tail_t,
                         )
-                        self._finish()
+                        self._finish(mct)
                     continue
 
                 if k == _SYNC:
                     # -- synchronization pseudo-instruction (no fetch) --
                     kind = sync_kind_col[head]
-                    if not self._handle_sync_kind(kind, sync_obj_col[head]):
-                        # Blocked at a barrier or contended lock: the core
-                        # stalls this cycle; it will retry once global time
-                        # catches up.  When the block is at cycle start the
-                        # remaining cycles up to run_until repeat identically
-                        # (no other core runs in between), so the whole
-                        # stall is charged in one step.
+                    sync_object = sync_obj_col[head]
+                    if not self._handle_sync_kind(kind, sync_object, sim_time):
+                        # Blocked at a barrier or contended lock.  Parked
+                        # mode hands the core to the driver's wait lists;
+                        # the attempt just performed was charged at
+                        # sim_time, so back-fill starts one cycle later.
+                        if park_blocked:
+                            is_lock = kind == _SK_LOCK_ACQUIRE
+                            if dispatched == 0:
+                                self._store_kernel_state(
+                                    head, tail, fetch_limit, sim_time,
+                                    instr_count, ow_head_t, ow_tail_t,
+                                )
+                                self._park(
+                                    is_lock, sync_object, sim_time, sim_time + 1
+                                )
+                            else:
+                                # The blocked cycle itself still counts (it
+                                # dispatched work); retries resume next cycle.
+                                stats.sync_stall_cycles += 1
+                                sim_time += 1
+                                self._store_kernel_state(
+                                    head, tail, fetch_limit, sim_time,
+                                    instr_count, ow_head_t, ow_tail_t,
+                                )
+                                self._park(is_lock, sync_object, sim_time, sim_time)
+                            return
+                        # Spin reference: the core stalls this cycle and
+                        # retries once global time catches up.  When the
+                        # block is at cycle start the remaining cycles up to
+                        # run_until repeat identically (no other core runs
+                        # in between), so the whole stall is charged in one
+                        # step.
                         if dispatched == 0:
                             span = self._blocked_stall_span(sim_time, run_until)
                             self._charge_blocked_retries(kind, span)
@@ -341,6 +380,11 @@ class IntervalCore(ColumnarKernelCore):
                         else:
                             stats.sync_stall_cycles += 1
                         break
+                    if sync_mgr is not None and sync_mgr.wake_pending:
+                        # This op released parked waiters: finish the current
+                        # cycle, then yield so the driver re-inserts them
+                        # before this core runs further ahead.
+                        yield_at_cycle_end = True
                     instr_count += 1  # sync ops skip the old window
                     head += 1
                     tail = head + rob
@@ -352,7 +396,7 @@ class IntervalCore(ColumnarKernelCore):
                             head, tail, fetch_limit, sim_time, instr_count,
                             ow_head_t, ow_tail_t,
                         )
-                        self._finish()
+                        self._finish(mct)
                     continue
 
                 # -- event-capable instruction: branch / load / store / serializing --
@@ -493,12 +537,14 @@ class IntervalCore(ColumnarKernelCore):
                         head, tail, fetch_limit, sim_time, instr_count,
                         ow_head_t, ow_tail_t,
                     )
-                    self._finish()
+                    self._finish(mct)
 
             # Figure 3 lines 67–68: if no miss event advanced the per-core
             # time, the core consumed exactly one cycle.
             if sim_time == mct:
                 sim_time += 1
+            if yield_at_cycle_end:
+                break
 
         self._store_kernel_state(
             head, tail, fetch_limit, sim_time, instr_count, ow_head_t, ow_tail_t

@@ -9,7 +9,13 @@ out of the original interval implementation:
   a kernel core consumes that whole span in one
   :meth:`~repro.multicore.simulator.CoreModel.simulate_interval` call, and
   :meth:`ColumnarKernelCore.simulate_cycle` remains the one-event-step entry
-  point (the per-core time always jumps strictly past ``multi_core_time``).
+  point.  A step ends in one of three ways: the span is consumed (per-core
+  time strictly past ``multi_core_time``), the core blocks on a sync object
+  (``blocked_on`` set; the driver parks it off the event heap until the
+  release), or the core *releases* parked waiters (the step finishes its
+  cycle and yields so the driver re-inserts the waiters before this core
+  runs ahead).  Under the spin reference driver cores never park — a
+  blocked core charges its whole handed span as stall instead.
 * **Columnar cursor plumbing** — :meth:`ColumnarKernelCore.bind_thread`
   resolves the bound cursor's trace to its cached
   :class:`~repro.trace.columnar.TraceBatch` once, so kernels index plain
@@ -161,32 +167,45 @@ class ColumnarKernelCore(CoreModel):
 
     # -- completion ----------------------------------------------------------------
 
-    def _finish(self) -> None:
-        """Record completion of this core's trace."""
+    def _finish(self, final_cycle: Optional[int] = None) -> None:
+        """Record completion of this core's trace.
+
+        ``final_cycle`` stamps the dispatch cycle of the trace's last
+        instruction — the release cycle of any barriers the finish unblocks
+        (``sim_time`` may already sit past it when the final instruction
+        carried a penalty).
+        """
         if self.finished:
             return
         self.finished = True
         self.stats.cycles = self.sim_time
         self._finalize_stats()
         if self.sync is not None and self._thread_id is not None:
-            self.sync.thread_finished(self._thread_id)
+            if final_cycle is None:
+                final_cycle = self.sim_time
+            self.sync.thread_finished(self._thread_id, final_cycle, self.core_id)
 
     def _finalize_stats(self) -> None:
         """Hook for model-specific end-of-run statistics (CPI-stack base)."""
 
     # -- synchronization -----------------------------------------------------------
 
-    def _handle_sync_kind(self, kind: int, sync_object: int) -> bool:
+    def _handle_sync_kind(self, kind: int, sync_object: int, cycle: int = 0) -> bool:
         """Interpret a synchronization pseudo-instruction.
 
         Returns ``True`` when the instruction completes (and may be
         dispatched), ``False`` when the core must stall this cycle.
+        ``cycle`` is the dispatch cycle of the attempt; it stamps any
+        barrier/lock release this op performs so parked waiters resume at
+        the right cycle.
         """
         if self.sync is None or self._thread_id is None:
             return True
         if kind == _SK_BARRIER:
             if self._waiting_barrier != sync_object:
-                self.sync.barrier_arrive(self._thread_id, sync_object)
+                self.sync.barrier_arrive(
+                    self._thread_id, sync_object, cycle, self.core_id
+                )
                 self._waiting_barrier = sync_object
                 self.stats.barrier_waits += 1
             if self.sync.barrier_released(sync_object):
@@ -205,14 +224,18 @@ class ColumnarKernelCore(CoreModel):
             # release can occur when functional warm-up skipped the matching
             # acquire and is simply ignored.
             if self.sync.lock_holder(sync_object) == self._thread_id:
-                self.sync.lock_release(self._thread_id, sync_object)
+                self.sync.lock_release(
+                    self._thread_id, sync_object, cycle, self.core_id
+                )
             return True
         # Other sync kinds (spawn/join) are treated as no-ops by the timing model.
         return True
 
-    def _handle_sync(self, instruction: Instruction) -> bool:
+    def _handle_sync(self, instruction: Instruction, cycle: int = 0) -> bool:
         """Instruction-object wrapper around :meth:`_handle_sync_kind`."""
-        return self._handle_sync_kind(int(instruction.sync), instruction.sync_object)
+        return self._handle_sync_kind(
+            int(instruction.sync), instruction.sync_object, cycle
+        )
 
     def _blocked_stall_span(self, sim_time: int, run_until: int) -> int:
         """Cycles a sync-blocked core may stall without re-checking.

@@ -43,6 +43,7 @@ from ..multicore.sync import SynchronizationManager
 from ..trace.columnar import KLASS_PLAIN, TraceBatch
 from ..trace.stream import TraceCursor
 from .kernel import (
+    _SK_LOCK_ACQUIRE,
     F_NOFETCH as _F_NOFETCH,
     KLASS_BRANCH as _BRANCH,
     KLASS_LOAD as _LOAD,
@@ -82,13 +83,27 @@ class OneIPCCore(ColumnarKernelCore):
         batch = self._batch
         assert batch is not None
 
-        # Blocked-at-barrier event steps dominate sync-heavy workloads (tied
-        # waiting cores interleave one cycle at a time); charge them without
-        # paying the full alias hoist below.
+        # Blocked-at-barrier event steps dominate sync-heavy workloads under
+        # the spin reference (tied waiting cores interleave one cycle at a
+        # time); charge or park them without paying the full alias hoist
+        # below.
         pos = self._head
         if pos < self._n and batch.klass[pos] == _SYNC:
             kind = batch.sync_kind[pos]
-            if not self._handle_sync_kind(kind, batch.sync_object[pos]):
+            sync_object = batch.sync_object[pos]
+            if not self._handle_sync_kind(kind, sync_object, sim_time):
+                if self.park_blocked:
+                    # The attempt just performed was charged at sim_time;
+                    # stalls back-fill from sim_time, retries from the next
+                    # cycle.
+                    self._store_kernel_state(
+                        pos, self._fetch_limit, sim_time, self.stats.instructions
+                    )
+                    self._park(
+                        kind == _SK_LOCK_ACQUIRE, sync_object, sim_time,
+                        sim_time + 1,
+                    )
+                    return
                 span = self._blocked_stall_span(sim_time, run_until)
                 self._charge_blocked_retries(kind, span)
                 self.stats.sync_stall_cycles += span
@@ -102,7 +117,11 @@ class OneIPCCore(ColumnarKernelCore):
                 pos, self._fetch_limit, sim_time, self.stats.instructions
             )
             if pos >= self._n:
-                self._finish()
+                self._finish(sim_time - 1)
+                return
+            if self.sync is not None and self.sync.wake_pending:
+                # The op released parked waiters: yield so the driver can
+                # re-insert them before this core runs further ahead.
                 return
             if sim_time >= run_until:
                 return
@@ -132,6 +151,11 @@ class OneIPCCore(ColumnarKernelCore):
         predictor_access = self.predictor.access
         fe_depth = self.core_config.frontend_pipeline_depth
         instr_count = stats.instructions
+        sync_mgr = self.sync
+        park_blocked = self.park_blocked
+        # Dispatch cycle of the trace's final instruction, stamped onto the
+        # thread-finished release (penalties may advance sim_time past it).
+        fin_cycle = sim_time
 
         while sim_time < run_until:
             if pos >= n:
@@ -154,17 +178,29 @@ class OneIPCCore(ColumnarKernelCore):
                 instr_count += span
                 pos += span
                 if pos >= n:
+                    fin_cycle = sim_time - 1
                     break
                 continue
 
             if k == _SYNC:
                 # -- synchronization pseudo-instruction (no fetch) --
                 kind = sync_kind_col[pos]
-                if not self._handle_sync_kind(kind, sync_obj_col[pos]):
-                    # Blocked at a barrier or contended lock: nothing can
-                    # unblock the core before run_until, so the whole stall
-                    # is charged in one step (with the skipped retries'
-                    # side effects).
+                sync_object = sync_obj_col[pos]
+                if not self._handle_sync_kind(kind, sync_object, sim_time):
+                    if park_blocked:
+                        # Hand the blocked core to the driver's wait lists;
+                        # the failed attempt was charged at sim_time.
+                        self._store_kernel_state(
+                            pos, fetch_limit, sim_time, instr_count
+                        )
+                        self._park(
+                            kind == _SK_LOCK_ACQUIRE, sync_object, sim_time,
+                            sim_time + 1,
+                        )
+                        return
+                    # Spin reference: nothing can unblock the core before
+                    # run_until, so the whole stall is charged in one step
+                    # (with the skipped retries' side effects).
                     span = self._blocked_stall_span(sim_time, run_until)
                     self._charge_blocked_retries(kind, span)
                     stats.sync_stall_cycles += span
@@ -174,7 +210,13 @@ class OneIPCCore(ColumnarKernelCore):
                 pos += 1
                 sim_time += 1
                 if pos >= n:
+                    fin_cycle = sim_time - 1
                     break
+                if sync_mgr is not None and sync_mgr.wake_pending:
+                    # The op released parked waiters: yield so the driver
+                    # re-inserts them before this core runs further ahead.
+                    self._store_kernel_state(pos, fetch_limit, sim_time, instr_count)
+                    return
                 continue
 
             penalty = 0
@@ -201,6 +243,7 @@ class OneIPCCore(ColumnarKernelCore):
                 pos += 1
                 sim_time += 1 + penalty
                 if pos >= n:
+                    fin_cycle = sim_time - 1 - penalty
                     break
                 continue
 
@@ -241,11 +284,12 @@ class OneIPCCore(ColumnarKernelCore):
             pos += 1
             sim_time += 1 + penalty
             if pos >= n:
+                fin_cycle = sim_time - 1 - penalty
                 break
 
         self._store_kernel_state(pos, fetch_limit, sim_time, instr_count)
         if pos >= n and not self.finished:
-            self._finish()
+            self._finish(fin_cycle)
 
     # -- kernel bookkeeping --------------------------------------------------------
 

@@ -118,6 +118,25 @@ class FrontEnd:
         """``True`` while fetch waits for a mispredicted branch to resolve."""
         return self._redirect_pending
 
+    @property
+    def fetch_quiescent(self) -> bool:
+        """``True`` when no future cycle can fetch without external input.
+
+        Used by the parked-driver gate: a core blocked at dispatch may only
+        park once fetch cannot change its state on its own.  That holds when
+        the stream is exhausted, the queue is full, or fetch waits on a
+        branch redirect (which, with an empty back end, can no longer
+        arrive).  A pending I-miss timer (``_fetch_ready_cycle`` in the
+        future with queue space left) is *not* quiescent — fetch resumes by
+        itself, so the core must keep stepping cycles until it stabilizes.
+        """
+        cursor = self._cursor
+        if cursor is None or self._redirect_pending:
+            return True
+        if cursor.position >= self._length:
+            return True
+        return len(self._queue) >= self._capacity
+
     # -- per-cycle operation ----------------------------------------------------------
 
     def fetch_cycle(self, cycle: int) -> None:

@@ -81,6 +81,10 @@ class DetailedCore(CoreModel):
         self._unissued_count = 0
         self._serializing_in_flight: Optional[RobEntry] = None
         self._waiting_barrier: Optional[int] = None
+        # (is_lock, sync_object) of a dispatch attempt that blocked this
+        # cycle; reset every cycle.  The core parks on it once the pipeline
+        # is quiescent (nothing in flight that could still make progress).
+        self._sync_block: Optional[tuple] = None
         self._completion_heap: List[int] = []
         self._issue_scan_needed = True
         self._l1d_hit_latency = config.memory.l1d.hit_latency
@@ -106,6 +110,7 @@ class DetailedCore(CoreModel):
             return
         now = self.sim_time
 
+        self._sync_block = None
         self._commit_stage(now)
         self._issue_stage(now)
         self._dispatch_stage(now)
@@ -114,7 +119,22 @@ class DetailedCore(CoreModel):
         self.sim_time = now + 1
 
         if self.frontend.exhausted and self.rob.is_empty:
-            self._finish()
+            self._finish(now)
+            return
+        if (
+            self.park_blocked
+            and self._sync_block is not None
+            and self.rob.is_empty
+            and not self._completion_heap
+            and self.frontend.fetch_quiescent
+        ):
+            # Dispatch blocked on a sync object and the rest of the pipeline
+            # can make no progress without it (back end drained, front end
+            # full/exhausted, no miss timer pending): every further cycle
+            # would repeat this one exactly, so park.  The stall/contention
+            # for cycle `now` was charged live; back-fill starts at now + 1.
+            is_lock, sync_object = self._sync_block
+            self._park(is_lock, sync_object, now + 1, now + 1)
 
     # -- commit ---------------------------------------------------------------------
 
@@ -274,8 +294,12 @@ class DetailedCore(CoreModel):
             if kcode == _SYNC:
                 if not self.rob.is_empty:
                     break
-                if not self._handle_sync(instruction):
+                if not self._handle_sync(instruction, now):
                     self.stats.sync_stall_cycles += 1
+                    self._sync_block = (
+                        instruction.sync == SyncKind.LOCK_ACQUIRE,
+                        instruction.sync_object,
+                    )
                     break
                 self.frontend.pop_dispatchable()
                 self.stats.instructions += 1
@@ -327,14 +351,20 @@ class DetailedCore(CoreModel):
 
     # -- synchronization -------------------------------------------------------------
 
-    def _handle_sync(self, instruction: Instruction) -> bool:
-        """Interpret a synchronization pseudo-instruction at dispatch."""
+    def _handle_sync(self, instruction: Instruction, cycle: int = 0) -> bool:
+        """Interpret a synchronization pseudo-instruction at dispatch.
+
+        ``cycle`` stamps any barrier/lock release this op performs so parked
+        waiters resume at the right cycle.
+        """
         if self.sync is None or self._thread_id is None:
             return True
         kind = instruction.sync
         if kind == SyncKind.BARRIER:
             if self._waiting_barrier != instruction.sync_object:
-                self.sync.barrier_arrive(self._thread_id, instruction.sync_object)
+                self.sync.barrier_arrive(
+                    self._thread_id, instruction.sync_object, cycle, self.core_id
+                )
                 self._waiting_barrier = instruction.sync_object
                 self.stats.barrier_waits += 1
             if self.sync.barrier_released(instruction.sync_object):
@@ -351,17 +381,25 @@ class DetailedCore(CoreModel):
             # Ignore releases of locks this thread does not hold (the
             # matching acquire may have fallen into the warm-up prefix).
             if self.sync.lock_holder(instruction.sync_object) == self._thread_id:
-                self.sync.lock_release(self._thread_id, instruction.sync_object)
+                self.sync.lock_release(
+                    self._thread_id, instruction.sync_object, cycle, self.core_id
+                )
             return True
         return True
 
     # -- completion -----------------------------------------------------------------
 
-    def _finish(self) -> None:
-        """Record completion of this core's trace."""
+    def _finish(self, final_cycle: Optional[int] = None) -> None:
+        """Record completion of this core's trace.
+
+        ``final_cycle`` stamps the cycle the trace's last instruction
+        retired — the release cycle of any barriers the finish unblocks.
+        """
         if self.finished:
             return
         self.finished = True
         self.stats.cycles = self.sim_time
         if self.sync is not None and self._thread_id is not None:
-            self.sync.thread_finished(self._thread_id)
+            if final_cycle is None:
+                final_cycle = self.sim_time
+            self.sync.thread_finished(self._thread_id, final_cycle, self.core_id)

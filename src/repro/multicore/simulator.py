@@ -12,6 +12,13 @@ branch predictors and the synchronization manager, binds workload threads to
 cores, and runs the global time loop.  Concrete simulators (interval,
 detailed, one-IPC) only provide their per-core model by implementing
 :meth:`MulticoreSimulator._create_core`.
+
+The global loop is a min-heap over (per-core time, core id) with a parked
+state for synchronization: cores blocked on an unreleased barrier or a held
+lock leave the heap and wait on the sync object itself, and the releasing
+step re-inserts them with their stall cycles back-filled (see
+:meth:`MulticoreSimulator._wake_parked` for the equivalence argument against
+the per-cycle spin reference, which `park_blocked_cores = False` restores).
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from ..common.stats import CoreStats, SimulationStats, Stopwatch
 from ..memory.hierarchy import MemoryHierarchy
 from ..trace.columnar import FLAG_NO_FETCH, KLASS_PLAIN
 from ..trace.stream import TraceCursor, Workload
-from .sync import SynchronizationManager
+from .sync import SynchronizationManager, WakeRecord
 
 __all__ = ["CoreModel", "MulticoreSimulator"]
 
@@ -52,6 +59,30 @@ class CoreModel(abc.ABC):
         self.finished = False
         # Subclasses assign the bound thread's cursor here in bind_thread().
         self._cursor: Optional[TraceCursor] = None
+        # Parked-driver contract.  When ``park_blocked`` is set (by the
+        # driver, for multithreaded workloads), a core hitting an unreleased
+        # barrier / held lock records what it is blocked on and returns from
+        # its event step instead of spinning; the driver then parks it off
+        # the event heap.  ``blocked_on`` is ``(is_lock, sync_object)`` while
+        # blocked/parked, ``None`` otherwise; ``park_cycle`` is the first
+        # cycle whose sync stall was not charged at the block site and
+        # ``park_retry_cycle`` the first cycle whose failing lock attempt was
+        # not counted — both back-filled by the driver at wake.
+        self.park_blocked = False
+        self.blocked_on: Optional[tuple] = None
+        self.park_cycle = 0
+        self.park_retry_cycle = 0
+        # The shared synchronization manager, or None for single-threaded
+        # runs; subclasses that synchronize overwrite this in __init__.
+        self.sync: Optional[SynchronizationManager] = None
+
+    def _park(
+        self, is_lock: bool, sync_object: int, park_cycle: int, retry_cycle: int
+    ) -> None:
+        """Mark this core blocked on a sync object (driver parks it next)."""
+        self.blocked_on = (is_lock, sync_object)
+        self.park_cycle = park_cycle
+        self.park_retry_cycle = retry_cycle
 
     @abc.abstractmethod
     def bind_thread(self, cursor: TraceCursor, thread_id: int) -> None:
@@ -80,15 +111,26 @@ class CoreModel(abc.ABC):
         :class:`CoreModel` batches correctly.  Models with an interval-level
         kernel (:class:`~repro.core.interval_core.IntervalCore`) override
         this with a columnar implementation.
+
+        Two parked-driver exits cut the span short: a step that blocks the
+        core on a sync object returns immediately (the driver parks the
+        core), and a step that *releases* parked waiters finishes its cycle
+        and returns so the driver can re-insert the waiters before this core
+        runs further ahead.
         """
+        sync = self.sync
         while not self.finished and self.sim_time < run_until:
             before = self.sim_time
             self.simulate_cycle(before)
+            if self.blocked_on is not None:
+                return
             if self.sim_time == before and not self.finished:
                 raise RuntimeError(
                     f"core {self.core_id} made no progress at cycle {before}; "
                     "simulate_cycle must advance sim_time or finish"
                 )
+            if sync is not None and sync.wake_pending:
+                return
 
     @property
     def has_thread(self) -> bool:
@@ -108,6 +150,13 @@ class MulticoreSimulator(abc.ABC):
 
     #: Human-readable simulator name recorded in result tables.
     name = "abstract"
+
+    #: When ``True`` (the default), cores blocked on a barrier or lock are
+    #: parked off the event heap until the release (O(1) heap traffic per
+    #: block).  Setting it to ``False`` restores the per-cycle spin
+    #: reference driver — kept for the equivalence test rig, which asserts
+    #: both modes produce bit-identical statistics.
+    park_blocked_cores = True
 
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
@@ -190,17 +239,32 @@ class MulticoreSimulator(abc.ABC):
         for core in cores:
             if not core.has_thread:
                 core.finished = True
+        park_blocked = self.park_blocked_cores and sync is not None
+        for core in active:
+            core.park_blocked = park_blocked
 
         stopwatch = Stopwatch()
         stopwatch.start()
         # Event-heap driver: the queue holds (per-core time, core id, core)
-        # for every unfinished core, so each global step pops the earliest
-        # core in O(log cores) instead of rebuilding O(cores) lists.  Ties
-        # pop in core-id order, matching the per-cycle driver's iteration
-        # order, and a tied core runs exactly one event step; a core that is
-        # the *unique* earliest runs uninterrupted until the next core's
-        # time, which is where the interval kernel consumes whole intervals
-        # per call.
+        # for every unfinished, unparked core, so each global step pops the
+        # earliest core in O(log cores) instead of rebuilding O(cores)
+        # lists.  Ties pop in core-id order (the per-cycle reference
+        # driver's iteration order) and a tied core runs exactly one event
+        # step; a core that is the *unique* earliest runs uninterrupted
+        # until the next core's time, which is where the interval kernel
+        # consumes whole intervals per call.
+        #
+        # Blocked cores leave the heap entirely: a core whose step ends
+        # blocked on an unreleased barrier or held lock is parked on that
+        # sync object's wait list, and the step that releases the object
+        # yields so the waiters can be re-inserted at their resume cycles
+        # with the skipped stall cycles back-filled in one arithmetic step
+        # (`_wake_parked`).  Under the spin reference (park_blocked_cores =
+        # False) any blocked core instead stays in the heap and crawls: its
+        # time tracks the heap top, so every tied retry is a single-cycle
+        # event step.  Both modes produce bit-identical statistics; parking
+        # turns O(stall cycles × waiting cores) heap pops into O(1) per
+        # block, which is what makes 64–256-core sync-heavy runs tractable.
         event_queue = [
             (core.sim_time, core.core_id, core)
             for core in active
@@ -210,8 +274,10 @@ class MulticoreSimulator(abc.ABC):
         heappush = heapq.heappush
         heappop = heapq.heappop
         time_cap = None if max_cycles is None else max_cycles + 1
+        events_popped = 0
         while event_queue:
             core_time, core_id, core = heappop(event_queue)
+            events_popped += 1
             if max_cycles is not None and core_time > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles "
@@ -224,17 +290,33 @@ class MulticoreSimulator(abc.ABC):
                 if run_until <= core_time:
                     run_until = core_time + 1
             else:
-                # Last unfinished core: run to completion (or the time cap).
+                # Last heap core: run to completion (or the time cap, or the
+                # next sync block/release while other cores sit parked).
                 run_until = time_cap if time_cap is not None else _UNBOUNDED
 
             core.simulate_interval(run_until)
-            if not core.finished:
+            if core.blocked_on is not None:
+                is_lock, sync_object = core.blocked_on
+                assert sync is not None
+                sync.park(core, is_lock, sync_object)
+            elif not core.finished:
                 if core.sim_time <= core_time:
                     raise RuntimeError(
                         f"core {core_id} made no progress at cycle {core_time}"
                     )
                 heappush(event_queue, (core.sim_time, core_id, core))
+            if sync is not None and sync.wake_pending:
+                for wake in sync.drain_wakes():
+                    self._wake_parked(wake, sync, heappush, event_queue)
         wall_clock = stopwatch.stop()
+        if sync is not None:
+            sync.stats.events_popped = events_popped
+            if sync.parked_count:
+                parked = sorted(c.core_id for c in sync.parked_cores())
+                raise RuntimeError(
+                    f"synchronization deadlock in {workload.name!r}: cores "
+                    f"{parked} still parked after all runnable cores finished"
+                )
 
         # Finalize per-core cycle counts for cores that never recorded them.
         for core in active:
@@ -247,8 +329,48 @@ class MulticoreSimulator(abc.ABC):
             wall_clock_seconds=wall_clock,
             simulator=self.name,
             memory_stats=hierarchy.collect_stats(),
+            driver_stats={
+                "events_popped": events_popped,
+                "cores_parked": sync.stats.cores_parked if sync else 0,
+                "park_cycles_skipped": (
+                    sync.stats.park_cycles_skipped if sync else 0
+                ),
+            },
         )
         return stats
+
+    @staticmethod
+    def _wake_parked(
+        wake: WakeRecord, sync: SynchronizationManager, heappush, event_queue
+    ) -> None:
+        """Re-insert one released waiter with its skipped stalls back-filled.
+
+        Under the spin reference any blocked core's time tracks the heap
+        top, so at the release — dispatched by core ``b`` at cycle ``R`` —
+        every spinning waiter sits at ``R`` or ``R + 1``: waiters with
+        core id < ``b`` were popped before ``b`` at ``R`` (their retry
+        failed, pushing them to ``R + 1``) while waiters with id > ``b``
+        were still queued at ``R`` and succeed there.  Hence the resume
+        cycle is ``R`` when the waiter's id exceeds the releaser's and
+        ``R + 1`` otherwise, and the stall cycles in
+        ``[park_cycle, resume)`` — plus, for locks, the failed acquire
+        attempts in ``[retry_cycle, resume)`` — are exactly what the spin
+        would have charged one cycle at a time.
+        """
+        waiter = wake.core
+        release = wake.release_cycle
+        resume = release if waiter.core_id > wake.releaser_id else release + 1
+        skipped = resume - wake.park_cycle
+        waiter.stats.sync_stall_cycles += skipped
+        sync.stats.park_cycles_skipped += skipped
+        if wake.is_lock:
+            retries = resume - wake.retry_cycle
+            if retries > 0:
+                waiter.stats.lock_contended += retries
+                sync.stats.lock_contentions += retries
+        waiter.blocked_on = None
+        waiter.sim_time = resume
+        heappush(event_queue, (resume, waiter.core_id, waiter))
 
     # -- functional warming -----------------------------------------------------------
 

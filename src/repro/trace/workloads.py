@@ -14,6 +14,7 @@ Each helper is deterministic given its ``seed`` argument.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from .multithreaded import generate_multithreaded_workload
@@ -32,6 +33,7 @@ __all__ = [
     "homogeneous_multiprogram_workload",
     "heterogeneous_multiprogram_workload",
     "multithreaded_workload",
+    "manycore_workload",
 ]
 
 
@@ -128,3 +130,45 @@ def multithreaded_workload(
     return generate_multithreaded_workload(
         profile, num_threads, total_instructions=total_instructions, seed=seed
     )
+
+
+def manycore_workload(
+    benchmark: str,
+    num_threads: int,
+    instructions_per_thread: int = 2_000,
+    seed: int = 0,
+    barrier_interval: Optional[int] = None,
+    lock_interval: Optional[int] = None,
+) -> Workload:
+    """Build a many-core (64–256 thread) variant of a PARSEC-like workload.
+
+    :func:`multithreaded_workload` keeps the *total* work fixed (the paper's
+    Figure-7 strong-scaling experiment), which starves individual threads at
+    high core counts.  This family scales the total with the thread count
+    (weak scaling, ``instructions_per_thread`` each) while keeping the
+    profile's barrier interval — defined over the *total* parallel work — so
+    barrier phases shorten per thread as the machine grows and the run
+    becomes synchronization-bound: the regime the parked event driver
+    targets.  ``barrier_interval``/``lock_interval`` override the profile's
+    sync density for sweep experiments.
+    """
+    if num_threads <= 0:
+        raise ValueError("need at least one thread")
+    if instructions_per_thread <= 0:
+        raise ValueError("per-thread instruction count must be positive")
+    profile = parsec_profile(benchmark)
+    overrides = {}
+    if barrier_interval is not None:
+        overrides["barrier_interval"] = barrier_interval
+    if lock_interval is not None:
+        overrides["lock_interval"] = lock_interval
+    if overrides:
+        profile = replace(profile, **overrides)
+    workload = generate_multithreaded_workload(
+        profile,
+        num_threads,
+        total_instructions=instructions_per_thread * num_threads,
+        seed=seed,
+    )
+    workload.name = f"{benchmark} manycore ({num_threads} threads)"
+    return workload

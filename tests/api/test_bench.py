@@ -97,11 +97,24 @@ def multi_shape_report():
 
 
 class TestBenchShapes:
-    def test_canonical_shapes_cover_all_three_profiles(self):
-        assert set(BENCH_SHAPES) == {"gcc", "mcf", "sync"}
+    def test_canonical_shapes_cover_all_profiles(self):
+        assert set(BENCH_SHAPES) == {"gcc", "mcf", "sync", "sync64", "sync256"}
         assert BENCH_SHAPES["mcf"].kind == "single"
         assert BENCH_SHAPES["sync"].kind == "multithreaded"
         assert BENCH_SHAPES["sync"].threads > 1
+        assert BENCH_SHAPES["sync64"].kind == "manycore"
+        assert BENCH_SHAPES["sync64"].threads == 64
+        assert BENCH_SHAPES["sync256"].kind == "manycore"
+        assert BENCH_SHAPES["sync256"].threads == 256
+
+    def test_manycore_shape_divides_total_instructions(self):
+        shape = BENCH_SHAPES["sync64"]
+        workload = shape.build_workload(6400, seed=0)
+        assert workload.num_threads == 64
+        total = sum(len(trace) for trace in workload.traces)
+        # Weak-scaling family built from instructions // threads per thread;
+        # sync pseudo-instructions make the exact total slightly larger.
+        assert total >= 6400
 
     def test_shape_workloads_are_deterministic(self):
         first = BENCH_SHAPES["sync"].build_workload(2000, seed=3)

@@ -51,6 +51,23 @@ def corpus_specs():
             .max_cycles(50_000_000)
         )
 
+    def manycore(simulator, benchmark, threads, per_thread):
+        # Many-core weak-scaling shape: pins the parked event driver's
+        # release-visibility order (which waiter resumes at the release cycle
+        # versus one cycle later) bit for bit at 64 cores.
+        from repro.trace.workloads import manycore_workload
+
+        workload = manycore_workload(
+            benchmark, threads, instructions_per_thread=per_thread, seed=0
+        )
+        return (
+            Session()
+            .cores(threads)
+            .simulator(simulator)
+            .workload(workload)
+            .max_cycles(50_000_000)
+        )
+
     return [
         ("interval/gcc/single", single("interval", "gcc", 6000, 2000)),
         ("interval/mcf/single", single("interval", "mcf", 6000, 2000)),
@@ -75,4 +92,10 @@ def corpus_specs():
         ("oneipc/dedup/mt-2", multithreaded("oneipc", "dedup", 2, 8000, 1000)),
         ("detailed/fluidanimate/mt-2", multithreaded("detailed", "fluidanimate", 2, 6000, 1000)),
         ("detailed/streamcluster/mt-2", multithreaded("detailed", "streamcluster", 2, 6000, 1000)),
+        # Many-core shapes: 64 simulated cores, sync-bound.  Barrier releases
+        # wake ~63 parked waiters at once, so these entries freeze the parked
+        # driver's deterministic wake order at scale.
+        ("interval/fluidanimate/mc-64", manycore("interval", "fluidanimate", 64, 150)),
+        ("oneipc/streamcluster/mc-64", manycore("oneipc", "streamcluster", 64, 150)),
+        ("detailed/fluidanimate/mc-64", manycore("detailed", "fluidanimate", 64, 60)),
     ]
