@@ -256,6 +256,11 @@ def run_throughput_suite(
             "events_popped": stats.driver_stats.get("events_popped", 0),
             "cores_parked": stats.driver_stats.get("cores_parked", 0),
             "park_cycles_skipped": stats.driver_stats.get("park_cycles_skipped", 0),
+            # Issue-queue traffic of the detailed model's event-driven back
+            # end (zero for the kernel models and the scan reference).
+            "issue_wakeups": stats.issue_wakeups,
+            "issue_scans_skipped": stats.issue_scans_skipped,
+            "ready_bucket_peak": stats.ready_bucket_peak,
         }
 
     speedups: Dict[str, float] = {}
@@ -451,6 +456,7 @@ def _render_shape(workload: Mapping[str, object], fragment: Mapping[str, object]
                 float(row["events_per_instruction"]),
                 float(row["aggregate_ipc"]),
                 int(row.get("events_popped", 0)),
+                int(row.get("issue_wakeups", 0)),
                 float(row["best_wall_seconds"]) * 1000.0,
                 float(speedups.get(name, 1.0)) if name != "detailed" else 1.0,
             )
@@ -466,6 +472,7 @@ def _render_shape(workload: Mapping[str, object], fragment: Mapping[str, object]
             "events/instr",
             "IPC",
             "heap pops",
+            "issue wakeups",
             "best ms",
             "speedup vs detailed",
         ],

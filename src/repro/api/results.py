@@ -88,6 +88,11 @@ class RunResult:
                 "park_cycles_skipped": self.stats.driver_stats.get(
                     "park_cycles_skipped", 0
                 ),
+                # Issue-queue traffic (detailed model's event-driven back end;
+                # zero for the scan reference and the kernel models).
+                "issue_wakeups": self.stats.issue_wakeups,
+                "issue_scans_skipped": self.stats.issue_scans_skipped,
+                "ready_bucket_peak": self.stats.ready_bucket_peak,
             },
             "stats": self.stats.as_dict(),
         }

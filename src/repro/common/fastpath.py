@@ -1,0 +1,32 @@
+"""Optional numpy acceleration (the ``repro-interval-sim[fast]`` extra).
+
+The columnar kernels precompute per-batch index columns (plain-run ends,
+fetch-line runs, fetch-skip templates) whose construction is a handful of
+whole-array operations.  When numpy is installed those builds vectorize;
+without it the pure-python builders produce byte-for-byte identical columns,
+so simulation results never depend on whether the extra is present — only
+host time does.
+
+Consumers read :data:`numpy` through the module at call time (``fastpath.numpy``)
+so tests can force the fallback path by monkeypatching it to ``None``.
+Setting the ``REPRO_NO_NUMPY`` environment variable (to any non-empty value)
+disables the fast path at import time — the CI numpy-absent leg uses it to
+prove the zero-dependency install stays fully functional.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["numpy", "HAVE_NUMPY"]
+
+numpy = None
+if not os.environ.get("REPRO_NO_NUMPY"):
+    try:  # pragma: no cover - exercised via both CI legs
+        import numpy  # type: ignore[no-redef]
+    except ImportError:
+        numpy = None
+
+#: ``True`` when the fast path was importable (and not disabled) at startup.
+#: Snapshot only — runtime checks read :data:`numpy` so monkeypatching works.
+HAVE_NUMPY = numpy is not None

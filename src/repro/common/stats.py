@@ -80,6 +80,16 @@ class CoreStats:
     dispatch_stall_cycles: int = 0
     committed_stores: int = 0
     committed_loads: int = 0
+    # Issue-queue observability (detailed model only).  These measure
+    # host-side scheduler traffic — how many wake notifications the
+    # event-driven issue queue delivered, how many per-cycle ready scans it
+    # avoided, and the largest ready set it ever popped in one cycle — not
+    # simulated behavior, so like the driver counters they are excluded from
+    # deterministic comparisons (the scan and event-driven issue paths
+    # produce identical simulated statistics but different traffic).
+    issue_wakeups: int = 0
+    issue_scans_skipped: int = 0
+    ready_bucket_peak: int = 0
     # CPI-stack components (cycles attributed to each penalty class by the
     # interval model; the detailed model leaves them at zero).
     base_cycles: int = 0
@@ -158,6 +168,8 @@ class CoreStats:
             "dispatch_stall_cycles",
             "committed_stores",
             "committed_loads",
+            "issue_wakeups",
+            "issue_scans_skipped",
             "base_cycles",
             "icache_penalty_cycles",
             "branch_penalty_cycles",
@@ -165,6 +177,8 @@ class CoreStats:
             "serializing_penalty_cycles",
         ):
             setattr(self, field_name, getattr(self, field_name) + getattr(other, field_name))
+        # The peak is a high-water mark, not a flow: merge by max.
+        self.ready_bucket_peak = max(self.ready_bucket_peak, other.ready_bucket_peak)
 
     def as_dict(self) -> Dict[str, float]:
         """Return a flat dictionary of all counters plus derived rates."""
@@ -195,6 +209,9 @@ class CoreStats:
             "dispatch_stall_cycles": self.dispatch_stall_cycles,
             "committed_stores": self.committed_stores,
             "committed_loads": self.committed_loads,
+            "issue_wakeups": self.issue_wakeups,
+            "issue_scans_skipped": self.issue_scans_skipped,
+            "ready_bucket_peak": self.ready_bucket_peak,
             "base_cycles": self.base_cycles,
             "icache_penalty_cycles": self.icache_penalty_cycles,
             "branch_penalty_cycles": self.branch_penalty_cycles,
@@ -308,6 +325,27 @@ class SimulationStats:
             return 0.0
         return self.total_miss_events / instructions
 
+    @property
+    def issue_wakeups(self) -> int:
+        """Total issue-queue wake notifications across all cores.
+
+        Nonzero only for the detailed model's event-driven issue queue;
+        host-side observability (excluded from :meth:`deterministic_dict`).
+        """
+        return sum(core.issue_wakeups for core in self.cores)
+
+    @property
+    def issue_scans_skipped(self) -> int:
+        """Total issue-stage cycles skipped without scanning, across cores."""
+        return sum(core.issue_scans_skipped for core in self.cores)
+
+    @property
+    def ready_bucket_peak(self) -> int:
+        """Largest same-cycle ready set any core's issue stage ever merged."""
+        return max(
+            (core.ready_bucket_peak for core in self.cores), default=0
+        )
+
     def as_dict(self) -> Dict[str, object]:
         """Flatten the run's statistics for reporting."""
         return {
@@ -336,6 +374,12 @@ class SimulationStats:
         result = self.as_dict()
         result.pop("wall_clock_seconds", None)
         result.pop("driver", None)
+        # Per-core issue-queue traffic counters are host-side observability,
+        # not simulated behavior (scan vs event-driven issue differ here).
+        for core in result["cores"]:
+            core.pop("issue_wakeups", None)
+            core.pop("issue_scans_skipped", None)
+            core.pop("ready_bucket_peak", None)
         return result
 
     @classmethod

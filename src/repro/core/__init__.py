@@ -2,8 +2,8 @@
 
 This package contains the analytical core timing model: the shared
 interval-at-a-time execution-kernel layer (:mod:`repro.core.kernel`), the
-instruction window (:mod:`repro.core.window`), the old-window critical-path
-estimator (:mod:`repro.core.old_window`), the per-core interval model
+instruction and old windows (:mod:`repro.core.window`), the per-core
+interval model
 (:mod:`repro.core.interval_core`), the multi-core interval simulator
 (:mod:`repro.core.interval_sim`), and the one-IPC baseline model the paper
 positions itself against (:mod:`repro.core.oneipc`) — batched on the same
@@ -13,9 +13,8 @@ kernel layer.
 from .interval_core import IntervalCore
 from .interval_sim import IntervalSimulator
 from .kernel import ColumnarKernelCore
-from .old_window import OldWindow
 from .oneipc import OneIPCCore, OneIPCSimulator
-from .window import InstructionWindow, WindowEntry
+from .window import InstructionWindow, OldWindow, WindowEntry
 
 __all__ = [
     "ColumnarKernelCore",

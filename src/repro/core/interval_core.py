@@ -83,7 +83,7 @@ from .kernel import (
     KLASS_SYNC as _SYNC,
     ColumnarKernelCore,
 )
-from .old_window import OldWindow
+from .window import OldWindow
 
 __all__ = ["IntervalCore"]
 
@@ -209,6 +209,7 @@ class IntervalCore(ColumnarKernelCore):
         instrs = batch.instructions
         ovr = self._ovr
         lat_table = self._lat
+        line_runs = self._line_runs
         plain = KLASS_PLAIN
         n = self._n
         head = self._head
@@ -283,7 +284,7 @@ class IntervalCore(ColumnarKernelCore):
                     # One batched probe commits every upcoming fetch hit and
                     # stops at the next I-side miss event.
                     fetch_limit = fetch_block(
-                        core_id, pcs, head, n, ovr, _F_SKIP_FETCH
+                        core_id, pcs, head, n, ovr, _F_SKIP_FETCH, line_runs
                     )
                     if fetch_limit == head:
                         result = probe(core_id, pcs[head], sim_time)
@@ -658,7 +659,10 @@ class IntervalCore(ColumnarKernelCore):
                     # access performed (misses complete in place; the latency
                     # hides under the load).
                     warm_from = position if position > fetch_limit else fetch_limit
-                    warm_block(core_id, pcs, warm_from, end, now, ovr, _F_IOVR)
+                    warm_block(
+                        core_id, pcs, warm_from, end, now, ovr, _F_IOVR,
+                        self._line_runs,
+                    )
                 while position < end:
                     fb = ovr[position]
                     if not fb & _F_IOVR:

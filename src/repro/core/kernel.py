@@ -44,7 +44,7 @@ with the batched I-side probe; the back end remains cycle-level).
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import List, Optional
 
 from ..branch import BranchPredictor
 from ..common.config import MachineConfig
@@ -130,6 +130,9 @@ class ColumnarKernelCore(CoreModel):
         self._n = 0
         self._head = 0
         self._fetch_limit = 0
+        # Fetch-line run column for the hierarchy's batched probes, or None
+        # when the configuration rules the run-column fast path out.
+        self._line_runs: Optional[List[int]] = None
 
     # -- CoreModel interface -----------------------------------------------------
 
@@ -143,6 +146,10 @@ class ColumnarKernelCore(CoreModel):
         # The cursor position accounts for any functionally-warmed prefix.
         self._head = cursor.position
         self._fetch_limit = self._head
+        shift = self.hierarchy.fetch_run_shift()
+        self._line_runs = (
+            batch.fetch_line_runs(shift) if shift is not None else None
+        )
         self._bind_batch(batch, cursor)
 
     def _bind_batch(self, batch: TraceBatch, cursor: TraceCursor) -> None:

@@ -138,6 +138,7 @@ class OneIPCCore(ColumnarKernelCore):
         # the batched probe entirely.
         skip_flags = batch.fetch_skip_template if batch.has_sync else None
         run_ends = self._run_ends
+        line_runs = self._line_runs
         plain = KLASS_PLAIN
         n = self._n
         pos = self._head
@@ -225,7 +226,9 @@ class OneIPCCore(ColumnarKernelCore):
             if pos >= fetch_limit:
                 # One batched probe commits every upcoming fetch hit and
                 # stops at the next I-side miss event.
-                fetch_limit = fetch_block(core_id, pcs, pos, n, skip_flags, _F_NOFETCH)
+                fetch_limit = fetch_block(
+                    core_id, pcs, pos, n, skip_flags, _F_NOFETCH, line_runs
+                )
                 if fetch_limit == pos:
                     result = probe(core_id, pcs[pos], sim_time)
                     fetch_limit = pos + 1

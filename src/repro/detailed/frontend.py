@@ -84,6 +84,9 @@ class FrontEnd:
         # Exclusive end of the verified-fetch run: positions below it have
         # already performed their (hitting) fetch through the batched probe.
         self._fetch_limit = 0
+        # Fetch-line run column for the batched probe (None when the
+        # configuration rules the run-column fast path out).
+        self._line_runs: Optional[List[int]] = None
 
     def bind(self, cursor: TraceCursor) -> None:
         """Attach the functional instruction stream."""
@@ -95,6 +98,10 @@ class FrontEnd:
         self._length = batch.length
         # The cursor position accounts for any functionally-warmed prefix.
         self._fetch_limit = cursor.position
+        shift = self.hierarchy.fetch_run_shift()
+        self._line_runs = (
+            batch.fetch_line_runs(shift) if shift is not None else None
+        )
 
     # -- state queries -------------------------------------------------------------
 
@@ -137,6 +144,33 @@ class FrontEnd:
             return True
         return len(self._queue) >= self._capacity
 
+    def fetch_gate(self, cycle: int):
+        """How fetch is gated, evaluated on end-of-cycle state.
+
+        Returns ``0`` when fetch can make progress at ``cycle`` on its own;
+        the wake cycle when only a pending I-miss timer blocks it; or
+        ``None`` when fetch cannot progress without a back-end event (branch
+        redirect, full queue, exhausted stream).  Used by the detailed
+        core's dormant-span skip to prove fetch stays frozen.
+        """
+        cursor = self._cursor
+        if cursor is None or self._redirect_pending:
+            return None
+        if cursor.position >= self._length:
+            return None
+        if len(self._queue) >= self._capacity:
+            return None
+        if cycle < self._fetch_ready_cycle:
+            return self._fetch_ready_cycle
+        return 0
+
+    def head_entry(self):
+        """The queue head's ``(klass_code, dispatch_ready_cycle)``, or ``None``."""
+        if not self._queue:
+            return None
+        _, kcode, dispatch_ready, _ = self._queue[0]
+        return kcode, dispatch_ready
+
     # -- per-cycle operation ----------------------------------------------------------
 
     def fetch_cycle(self, cycle: int) -> None:
@@ -164,7 +198,7 @@ class FrontEnd:
                 # One batched probe commits every upcoming fetch hit and
                 # stops at the next I-side miss event.
                 fetch_limit = self.hierarchy.access_block(
-                    self.core_id, pcs, position, n
+                    self.core_id, pcs, position, n, line_runs=self._line_runs
                 )
                 if fetch_limit == position:
                     result = self.hierarchy.instruction_probe(

@@ -24,6 +24,7 @@ the comparison the paper makes.
 from __future__ import annotations
 
 import heapq
+import operator
 from typing import Dict, List, Optional
 
 from ..branch import BranchPredictor
@@ -52,9 +53,29 @@ _STORE = int(InstructionClass.STORE)
 _SERIALIZING = int(InstructionClass.SERIALIZING)
 _SYNC = int(InstructionClass.SYNC)
 
+# Sort key restoring ROB (dispatch) order among merged ready buckets.
+_dispatch_index = operator.attrgetter("idx")
+
 
 class DetailedCore(CoreModel):
-    """Cycle-level out-of-order core (the detailed reference model)."""
+    """Cycle-level out-of-order core (the detailed reference model).
+
+    Issue is event-driven by default: every ROB entry subscribes to its
+    still-unissued producers at dispatch, a producer's issue wakes its
+    subscribers with its exact ``complete_cycle``, and entries whose operand
+    count hits zero land in a ready-at-cycle bucket.  ``_issue_stage_event``
+    therefore only ever touches entries that could actually issue at ``now``
+    instead of rescanning the whole unissued window every cycle.  The
+    per-cycle reference scan stays available behind
+    ``DetailedCore.event_driven_issue = False`` (test-only, the
+    ``park_blocked_cores`` pattern) and the two are held bit-identical on
+    every golden workload by ``tests/detailed/test_event_issue.py``.
+    """
+
+    #: Class-level switch for the issue-stage implementation.  ``True``
+    #: (default) uses the event-driven ready buckets; ``False`` restores the
+    #: per-cycle unissued-window scan as a test-only equivalence reference.
+    event_driven_issue = True
 
     def __init__(
         self,
@@ -89,6 +110,14 @@ class DetailedCore(CoreModel):
         self._issue_scan_needed = True
         self._l1d_hit_latency = config.memory.l1d.hit_latency
         self._lat: List[int] = []
+        # Event-driven issue state: ready entries bucketed by the cycle they
+        # become eligible, a min-heap of occupied bucket cycles, and a
+        # monotonic dispatch counter whose order is the ROB order (the sort
+        # key that keeps event-driven issue bit-identical to the scan).
+        self._event_issue: bool = self.event_driven_issue
+        self._ready_buckets: Dict[int, List[RobEntry]] = {}
+        self._bucket_heap: List[int] = []
+        self._dispatch_seq = 0
 
     # -- CoreModel interface -----------------------------------------------------
 
@@ -112,7 +141,10 @@ class DetailedCore(CoreModel):
 
         self._sync_block = None
         self._commit_stage(now)
-        self._issue_stage(now)
+        if self._event_issue:
+            self._issue_stage_event(now)
+        else:
+            self._issue_stage(now)
         self._dispatch_stage(now)
         self.frontend.fetch_cycle(now)
 
@@ -135,6 +167,85 @@ class DetailedCore(CoreModel):
             # for cycle `now` was charged live; back-fill starts at now + 1.
             is_lock, sync_object = self._sync_block
             self._park(is_lock, sync_object, now + 1, now + 1)
+            return
+        if self._event_issue and self._sync_block is None:
+            target = self._dormant_until(now)
+            if target is not None:
+                self.sim_time = target
+
+    # -- dormant-span skip -----------------------------------------------------------
+
+    def _dormant_until(self, now: int) -> Optional[int]:
+        """The next cycle this core can act, or ``None`` if that is ``now + 1``.
+
+        Event-driven counterpart of the per-cycle crawl through dead time
+        (I-miss stalls, branch redirects, long-load windows).  Evaluated on
+        end-of-cycle state: every pipeline stage must be provably frozen
+        until some future cycle — commit until the ROB head's completion,
+        issue until the earliest ready bucket, dispatch until the fetch
+        queue's head turns dispatchable or a resource frees, fetch until its
+        miss timer — and during the span the core touches no shared state,
+        so skipping straight to the earliest wake candidate is invisible to
+        the other cores.  The only per-cycle observable in a frozen span is
+        the reference's dispatch stall charge (ROB/issue-queue/LSQ full,
+        checked in the reference's gate order on the frozen state), which is
+        back-filled arithmetically — the same argument as the parked
+        driver's stall back-fill, one level down.
+        """
+        frontend = self.frontend
+        gate = frontend.fetch_gate(now + 1)
+        if gate == 0:
+            return None  # fetch can progress by itself next cycle
+        wake = gate  # None, or the I-miss timer's wake cycle
+
+        heap = self._bucket_heap
+        if heap:
+            cycle = heap[0]
+            if wake is None or cycle < wake:
+                wake = cycle
+        head = self.rob.head()
+        if head is not None and head.issued:
+            cycle = head.complete_cycle
+            if cycle <= now:
+                # Commit stopped on width or a full store buffer with a
+                # completed head: it can act again next cycle.
+                return None
+            if wake is None or cycle < wake:
+                wake = cycle
+
+        # Dispatch: replay the reference gate order on the frozen state to
+        # find the per-cycle stall charge (or discover dispatch can act).
+        charge = 0
+        if (
+            self.rob.is_full
+            or self._unissued_count >= self.core_config.issue_queue_entries
+        ):
+            charge = 1
+        else:
+            peeked = frontend.head_entry()
+            if peeked is not None:
+                kcode, dispatch_ready = peeked
+                if dispatch_ready > now + 1:
+                    # The head turning dispatchable ends the frozen span.
+                    if wake is None or dispatch_ready < wake:
+                        wake = dispatch_ready
+                elif self._serializing_in_flight is not None:
+                    pass  # dispatch breaks silently until the barrier commits
+                elif kcode == _SYNC or kcode == _SERIALIZING:
+                    if self.rob.is_empty:
+                        return None  # dispatch acts on it next cycle
+                elif (kcode == _LOAD or kcode == _STORE) and self.lsq.is_full:
+                    charge = 1
+                else:
+                    return None  # plainly dispatchable next cycle
+
+        if wake is None or wake <= now + 1:
+            return None
+        span = wake - (now + 1)
+        if charge:
+            self.stats.dispatch_stall_cycles += span
+        self.stats.issue_scans_skipped += span
+        return wake
 
     # -- commit ---------------------------------------------------------------------
 
@@ -159,9 +270,12 @@ class DetailedCore(CoreModel):
                     break
                 # The store's memory access happens as it drains from the
                 # store buffer; the access updates the caches and coherence
-                # state shared with the other cores.
+                # state shared with the other cores.  Address 0 is a valid
+                # address — only a missing address is a trace bug, so the
+                # guard must be an identity check, not truthiness.
+                assert instruction.mem_addr is not None
                 result = self.hierarchy.data_probe(
-                    self.core_id, instruction.mem_addr or 0, True, now
+                    self.core_id, instruction.mem_addr, True, now
                 )
                 stats.dcache_accesses += 1
                 if result is None:
@@ -190,6 +304,64 @@ class DetailedCore(CoreModel):
 
     # -- issue ----------------------------------------------------------------------
 
+    def _schedule_ready(self, entry: RobEntry, cycle: int) -> None:
+        """Place a fully-ready entry in the bucket for ``cycle``."""
+        bucket = self._ready_buckets.get(cycle)
+        if bucket is None:
+            self._ready_buckets[cycle] = [entry]
+            heapq.heappush(self._bucket_heap, cycle)
+        else:
+            bucket.append(entry)
+
+    def _issue_stage_event(self, now: int) -> None:
+        """Issue up to ``issue_width`` instructions from the ready buckets.
+
+        Equivalence with the reference scan: an entry enters a bucket exactly
+        when its last constraint resolves (its dispatch ``ready_cycle`` or
+        the ``complete_cycle`` of its slowest producer, whichever is later),
+        so the candidates popped at ``now`` are precisely the entries
+        ``_operands_ready`` would accept.  Sorting them by dispatch index
+        reproduces the scan's ROB order, which fixes the functional-unit
+        acquisition sequence and — through loads probing the hierarchy at
+        issue — the shared-memory access order, bit for bit.  Entries denied
+        by width or functional units stay ready and re-enter the next
+        cycle's bucket, mirroring the scan revisiting them.
+        """
+        heap = self._bucket_heap
+        if not heap or heap[0] > now:
+            # Nothing can possibly issue this cycle; the reference would
+            # have either rescanned or consulted its scan-needed latch.
+            self.stats.issue_scans_skipped += 1
+            return
+        buckets = self._ready_buckets
+        candidates = buckets.pop(heapq.heappop(heap))
+        while heap and heap[0] <= now:
+            # Multiple due buckets only happen after a parked core skips
+            # cycles; merge them, the idx sort below restores ROB order.
+            candidates.extend(buckets.pop(heapq.heappop(heap)))
+        if len(candidates) > 1:
+            candidates.sort(key=_dispatch_index)
+        if len(candidates) > self.stats.ready_bucket_peak:
+            self.stats.ready_bucket_peak = len(candidates)
+
+        issue_width = self.core_config.issue_width
+        fu_pool = self.fu_pool
+        issued = 0
+        overflow = None
+        for position, entry in enumerate(candidates):
+            if issued >= issue_width:
+                overflow = position
+                break
+            if not fu_pool.try_acquire(entry.kcode, now):
+                self._schedule_ready(entry, now + 1)
+                continue
+            self._issue_entry(entry, now)
+            issued += 1
+        if overflow is not None:
+            retry = now + 1
+            for entry in candidates[overflow:]:
+                self._schedule_ready(entry, retry)
+
     def _issue_stage(self, now: int) -> None:
         """Issue up to ``issue_width`` ready instructions to functional units."""
         # Wake up on completions: if nothing completed and nothing was
@@ -203,6 +375,7 @@ class DetailedCore(CoreModel):
         if woke_up:
             self._issue_scan_needed = True
         if not self._issue_scan_needed:
+            self.stats.issue_scans_skipped += 1
             return
 
         issued = 0
@@ -262,9 +435,24 @@ class DetailedCore(CoreModel):
 
         entry.issued = True
         entry.issue_cycle = now
-        entry.complete_cycle = now + max(1, latency)
-        heapq.heappush(self._completion_heap, entry.complete_cycle)
+        complete = now + max(1, latency)
+        entry.complete_cycle = complete
         self._unissued_count -= 1
+        if self._event_issue:
+            # Wake every subscribed consumer with this entry's exact
+            # completion cycle; the last producer to issue schedules it.
+            waiters = entry.waiters
+            if waiters is not None:
+                self.stats.issue_wakeups += len(waiters)
+                for waiter in waiters:
+                    if waiter.ready_at < complete:
+                        waiter.ready_at = complete
+                    waiter.wait_count -= 1
+                    if waiter.wait_count == 0:
+                        self._schedule_ready(waiter, waiter.ready_at)
+                entry.waiters = None
+        else:
+            heapq.heappush(self._completion_heap, complete)
 
         if entry.mispredicted:
             # Fetch resumes on the correct path once the branch has executed;
@@ -327,20 +515,48 @@ class DetailedCore(CoreModel):
         self, instruction: Instruction, kcode: int, is_memory: bool, now: int
     ) -> RobEntry:
         """Create a ROB entry, snapshot its producers, allocate resources."""
-        producers = []
         register_producers = self._register_producers
-        for register in instruction.src_regs:
-            producer = register_producers.get(register)
-            if producer is not None and not (
-                producer.issued
-                and producer.complete_cycle is not None
-                and producer.complete_cycle <= now
-            ):
-                producers.append(producer)
         entry = RobEntry(
             instruction, dispatch_cycle=now, ready_cycle=now + 1, kcode=kcode
         )
-        entry.producers = producers
+        if self._event_issue:
+            # Subscribe to unissued producers; fold issued producers'
+            # completion cycles straight into the ready cycle (a completion
+            # at or before ``now`` is the reference's "trivially ready" case
+            # and cannot raise ready_at above the dispatch ready_cycle).
+            ready_at = entry.ready_at
+            wait_count = 0
+            for register in instruction.src_regs:
+                producer = register_producers.get(register)
+                if producer is None:
+                    continue
+                if producer.issued:
+                    complete = producer.complete_cycle
+                    if complete > ready_at:
+                        ready_at = complete
+                else:
+                    if producer.waiters is None:
+                        producer.waiters = [entry]
+                    else:
+                        producer.waiters.append(entry)
+                    wait_count += 1
+            entry.ready_at = ready_at
+            entry.wait_count = wait_count
+            entry.idx = self._dispatch_seq
+            self._dispatch_seq += 1
+            if wait_count == 0:
+                self._schedule_ready(entry, ready_at)
+        else:
+            producers = []
+            for register in instruction.src_regs:
+                producer = register_producers.get(register)
+                if producer is not None and not (
+                    producer.issued
+                    and producer.complete_cycle is not None
+                    and producer.complete_cycle <= now
+                ):
+                    producers.append(producer)
+            entry.producers = producers
         self.rob.append(entry)
         self._unissued_count += 1
         if is_memory:

@@ -46,6 +46,14 @@ class RobEntry:
         "mispredicted",
         "memory_penalty",
         "producers",
+        # Event-driven issue-queue state (DetailedCore.event_driven_issue):
+        # dispatch-order index, count of still-unissued producers, the cycle
+        # the entry becomes ready once that count hits zero, and the wake
+        # list of consumers subscribed to this entry's completion.
+        "idx",
+        "wait_count",
+        "ready_at",
+        "waiters",
     )
 
     def __init__(
@@ -72,6 +80,10 @@ class RobEntry:
         # instruction's source operands (register renaming snapshot taken at
         # dispatch time).
         self.producers: List["RobEntry"] = []
+        self.idx = 0
+        self.wait_count = 0
+        self.ready_at = ready_cycle
+        self.waiters: Optional[List["RobEntry"]] = None
 
     @property
     def can_commit(self) -> bool:

@@ -48,6 +48,22 @@ _ST_OWNED = CoherenceState.OWNED
 _ST_MODIFIED = CoherenceState.MODIFIED
 
 
+def _count_flagged(flags: bytearray, lo: int, hi: int, mask: int) -> int:
+    """Number of positions in ``[lo, hi)`` whose flag byte intersects ``mask``.
+
+    The dominant case — no flag byte set anywhere in the run — is answered by
+    one C-level ``count`` call; only runs that actually contain nonzero bytes
+    (sync pseudo-ops, overlap-marked spans) fall back to the per-byte test.
+    """
+    if flags.count(0, lo, hi) == hi - lo:
+        return 0
+    count = 0
+    for index in range(lo, hi):
+        if flags[index] & mask:
+            count += 1
+    return count
+
+
 @dataclass(slots=True)
 class AccessResult:
     """Outcome of one instruction- or data-side memory access.
@@ -211,6 +227,22 @@ class MemoryHierarchy:
         """Number of cores the hierarchy serves."""
         return len(self.l1d)
 
+    def fetch_run_shift(self) -> Optional[int]:
+        """The line shift batched fetch probes can exploit run columns for.
+
+        Returns the L1i offset-bit count when :meth:`access_block` /
+        :meth:`warm_block` accept a precomputed
+        :meth:`~repro.trace.columnar.TraceBatch.fetch_line_runs` column built
+        with that shift, or ``None`` when the configuration rules the fast
+        path out (an idealized I-side structure, or the degenerate geometry
+        where a same-line repeat does not imply a same-page repeat).
+        """
+        if self._perfect_itlb or self._perfect_l1i:
+            return None
+        if not self._fetch_block_implies_page:
+            return None
+        return self._l1i_offset_bits
+
     # -- instruction side ---------------------------------------------------------
 
     def instruction_access(self, core_id: int, pc: int, now: int = 0) -> AccessResult:
@@ -302,6 +334,7 @@ class MemoryHierarchy:
         stop: Optional[int] = None,
         flags: Optional[bytearray] = None,
         flag_mask: int = 0,
+        line_runs: Optional[Sequence[int]] = None,
     ) -> int:
         """Batched fetch probe: commit hits in order, stop at the miss event.
 
@@ -318,6 +351,14 @@ class MemoryHierarchy:
         Per-call dispatch overhead is paid once per *block* instead of once
         per instruction, which is what lets the interval kernel charge a whole
         inter-miss interval in one step.
+
+        ``line_runs``, when provided, must be the
+        :meth:`~repro.trace.columnar.TraceBatch.fetch_line_runs` column of
+        the same ``addresses`` sequence built with this hierarchy's
+        :meth:`fetch_run_shift` — each whole same-line run of memo hits then
+        commits as one arithmetic step, so the probe costs O(line
+        transitions) instead of O(instructions).  Ignored for configurations
+        :meth:`fetch_run_shift` rules out.
         """
         if stop is None:
             stop = len(addresses)
@@ -344,7 +385,57 @@ class MemoryHierarchy:
             # flag-free caller (no sync positions in range) gets a loop
             # without the per-position flag test.
             memo_hits = 0
-            if not self._fetch_block_implies_page:
+            if line_runs is not None and self._fetch_block_implies_page:
+                # Run-column fast path: every position in [index,
+                # line_runs[index]) shares position index's line, so after
+                # the per-line transition probe the rest of the run is memo
+                # hits committed arithmetically.
+                if flags is None:
+                    while index < stop:
+                        pc = addresses[index]
+                        block = pc >> offset_bits
+                        end = line_runs[index]
+                        if end > stop:
+                            end = stop
+                        if block == last_block:
+                            memo_hits += end - index
+                            index = end
+                            continue
+                        if not tlb.probe(pc) or cache.probe(pc) is None:
+                            break
+                        tlb.access(pc)
+                        cache.lookup(pc)
+                        last_block = block
+                        last_page = pc >> page_shift
+                        memo_hits += end - index - 1
+                        index = end
+                else:
+                    while index < stop:
+                        if flags[index] & flag_mask:
+                            index += 1
+                            continue
+                        pc = addresses[index]
+                        block = pc >> offset_bits
+                        end = line_runs[index]
+                        if end > stop:
+                            end = stop
+                        if block == last_block:
+                            memo_hits += (end - index) - _count_flagged(
+                                flags, index, end, flag_mask
+                            )
+                            index = end
+                            continue
+                        if not tlb.probe(pc) or cache.probe(pc) is None:
+                            break
+                        tlb.access(pc)
+                        cache.lookup(pc)
+                        last_block = block
+                        last_page = pc >> page_shift
+                        memo_hits += (end - index - 1) - _count_flagged(
+                            flags, index + 1, end, flag_mask
+                        )
+                        index = end
+            elif not self._fetch_block_implies_page:
                 # Degenerate geometry (lines larger than pages): the memo-hit
                 # test needs the page compare as well.
                 while index < stop:
@@ -435,6 +526,7 @@ class MemoryHierarchy:
         now: int = 0,
         flags: Optional[bytearray] = None,
         flag_mask: int = 0,
+        line_runs: Optional[Sequence[int]] = None,
     ) -> int:
         """Batched fetch that *completes* misses; returns accesses performed.
 
@@ -442,13 +534,63 @@ class MemoryHierarchy:
         the shared levels at time ``now``) instead of stopping the block —
         the access pattern functional warm-up and the overlap scan need,
         where the miss latency is not charged to anyone.  Entries whose
-        ``flags`` byte intersects ``flag_mask`` are skipped.
+        ``flags`` byte intersects ``flag_mask`` are skipped.  ``line_runs``
+        has :meth:`access_block` semantics: a matching
+        :meth:`~repro.trace.columnar.TraceBatch.fetch_line_runs` column turns
+        whole same-line runs into arithmetic commits.
         """
         if stop is None:
             stop = len(addresses)
         probe = self.instruction_probe
         performed = 0
         full_model = not self._perfect_itlb and not self._perfect_l1i
+        if full_model and line_runs is not None and self._fetch_block_implies_page:
+            # Run-column fast path (see access_block): one probe per line
+            # transition, the rest of each run is memo hits.  instruction_probe
+            # leaves the memo pointing at the line it serviced, so the live
+            # memo compare below matches the per-position reference exactly.
+            tlb_stats = self.itlb[core_id].stats
+            cache_stats = self.l1i[core_id].stats
+            memo_block = self._fetch_memo_block
+            offset_bits = self._l1i_offset_bits
+            memo_hits = 0
+            index = start
+            if flags is None:
+                while index < stop:
+                    pc = addresses[index]
+                    end = line_runs[index]
+                    if end > stop:
+                        end = stop
+                    if pc >> offset_bits == memo_block[core_id]:
+                        memo_hits += end - index
+                    else:
+                        probe(core_id, pc, now)
+                        memo_hits += end - index - 1
+                    performed += end - index
+                    index = end
+            else:
+                while index < stop:
+                    if flags[index] & flag_mask:
+                        index += 1
+                        continue
+                    pc = addresses[index]
+                    end = line_runs[index]
+                    if end > stop:
+                        end = stop
+                    span = (end - index) - _count_flagged(
+                        flags, index, end, flag_mask
+                    )
+                    if pc >> offset_bits == memo_block[core_id]:
+                        memo_hits += span
+                    else:
+                        probe(core_id, pc, now)
+                        memo_hits += span - 1
+                    performed += span
+                    index = end
+            if memo_hits:
+                tlb_stats.accesses += memo_hits
+                cache_stats.accesses += memo_hits
+            return performed
         if full_model:
             # Inline the MRU line/page memo so repeat fetches cost only the
             # counter updates (the dominant case inside a warmed block);

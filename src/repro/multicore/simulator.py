@@ -445,6 +445,12 @@ class MulticoreSimulator(abc.ABC):
                 instructions = batch.instructions
                 skip_sync = batch.fetch_skip_template if batch.has_sync else None
                 run_ends = batch.plain_run_ends()
+                run_shift = hierarchy.fetch_run_shift()
+                line_runs = (
+                    batch.fetch_line_runs(run_shift)
+                    if run_shift is not None
+                    else None
+                )
                 thread_id = cursor.trace.thread_id
                 position = cursor.position
                 fetch_limit = fetch_done[index]
@@ -461,7 +467,8 @@ class MulticoreSimulator(abc.ABC):
                         continue
                     if position >= fetch_limit:
                         fetch_limit = hierarchy.access_block(
-                            core_id, pcs, position, stop, skip_sync, FLAG_NO_FETCH
+                            core_id, pcs, position, stop, skip_sync,
+                            FLAG_NO_FETCH, line_runs,
                         )
                         if fetch_limit == position:
                             # The fetch itself misses: complete it in place.

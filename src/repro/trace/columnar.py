@@ -18,8 +18,9 @@ cursor reports, so cursor-based and columnar access can be mixed freely.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..common import fastpath
 from ..common.isa import Instruction, InstructionClass
 
 __all__ = [
@@ -101,6 +102,7 @@ class TraceBatch:
         "has_sync",
         "length",
         "_plain_run_ends",
+        "_line_runs",
     )
 
     def __init__(self, instructions: Sequence[Instruction]) -> None:
@@ -128,15 +130,24 @@ class TraceBatch:
         # own flag array with the positions that must never be fetched.
         # has_sync lets consumers that never set their own flags skip the
         # per-position flag test entirely (single-threaded traces).
-        template = bytearray(self.length)
         sync_code = int(InstructionClass.SYNC)
         self.has_sync = bool(self.klass.count(sync_code))
-        if self.has_sync:
-            for position, code in enumerate(self.klass):
-                if code == sync_code:
-                    template[position] = FLAG_NO_FETCH
+        np = fastpath.numpy
+        if self.has_sync and np is not None:
+            codes = np.array(self.klass, dtype=np.int64)
+            template = bytearray(
+                ((codes == sync_code) * FLAG_NO_FETCH).astype(np.uint8).tobytes()
+            )
+        else:
+            template = bytearray(self.length)
+            if self.has_sync:
+                for position, code in enumerate(self.klass):
+                    if code == sync_code:
+                        template[position] = FLAG_NO_FETCH
         self.fetch_skip_template = template
         self._plain_run_ends: Optional[List[int]] = None
+        # Per-shift cache of the fetch-line run column (see fetch_line_runs).
+        self._line_runs: Dict[int, List[int]] = {}
 
     def __len__(self) -> int:
         return self.length
@@ -155,18 +166,74 @@ class TraceBatch:
         """
         ends = self._plain_run_ends
         if ends is None:
-            klass = self.klass
-            plain = KLASS_PLAIN
-            ends = [0] * self.length
-            next_event = self.length
-            for position in range(self.length - 1, -1, -1):
-                if plain[klass[position]]:
-                    ends[position] = next_event
-                else:
-                    ends[position] = position
-                    next_event = position
+            np = fastpath.numpy
+            length = self.length
+            if np is not None and length:
+                # Event positions point at themselves, plain positions at the
+                # trace end; a reversed running minimum then snaps every plain
+                # position to the nearest event at or after it.
+                codes = np.array(self.klass, dtype=np.int64)
+                is_plain = np.array(KLASS_PLAIN, dtype=bool)[codes]
+                cand = np.where(is_plain, length, np.arange(length, dtype=np.int64))
+                ends = np.minimum.accumulate(cand[::-1])[::-1].tolist()
+            else:
+                klass = self.klass
+                plain = KLASS_PLAIN
+                ends = [0] * length
+                next_event = length
+                for position in range(length - 1, -1, -1):
+                    if plain[klass[position]]:
+                        ends[position] = next_event
+                    else:
+                        ends[position] = position
+                        next_event = position
             self._plain_run_ends = ends
         return ends
+
+    def fetch_line_runs(self, offset_bits: int) -> List[int]:
+        """Exclusive end of the same-fetch-line run containing each position.
+
+        ``fetch_line_runs(b)[i]`` is the index of the first position after
+        ``i`` whose ``pc >> b`` differs from position ``i``'s (or
+        :attr:`length` when the trace ends first).  The hierarchy's batched
+        fetch probes (:meth:`~repro.memory.hierarchy.MemoryHierarchy.access_block`,
+        :meth:`~repro.memory.hierarchy.MemoryHierarchy.warm_block`) use the
+        column to commit each whole same-line run of memo hits as one
+        arithmetic step, making the probe O(line transitions) instead of
+        O(instructions).  Built lazily, cached per shift, and shared by every
+        consumer of the batch.
+        """
+        runs = self._line_runs.get(offset_bits)
+        if runs is None:
+            length = self.length
+            np = fastpath.numpy
+            if np is not None and length:
+                blocks = np.array(self.pc, dtype=np.int64) >> offset_bits
+                # Last-of-run positions point one past themselves, everything
+                # else at the trace end; a reversed running minimum gives each
+                # position its run's exclusive end.
+                boundary = np.empty(length, dtype=bool)
+                np.not_equal(blocks[1:], blocks[:-1], out=boundary[:-1])
+                boundary[-1] = True
+                cand = np.where(
+                    boundary, np.arange(1, length + 1, dtype=np.int64), length
+                )
+                runs = np.minimum.accumulate(cand[::-1])[::-1].tolist()
+            else:
+                pcs = self.pc
+                runs = [0] * length
+                if length:
+                    runs[length - 1] = length
+                    next_block = pcs[length - 1] >> offset_bits
+                    for position in range(length - 2, -1, -1):
+                        block = pcs[position] >> offset_bits
+                        if block == next_block:
+                            runs[position] = runs[position + 1]
+                        else:
+                            runs[position] = position + 1
+                            next_block = block
+            self._line_runs[offset_bits] = runs
+        return runs
 
     def latency_table(
         self, latencies: Optional[dict] = None

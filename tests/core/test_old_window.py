@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.isa import Instruction, InstructionClass
-from repro.core.old_window import OldWindow
+from repro.core.window import OldWindow
 from repro.core.window import InstructionWindow
 
 
