@@ -11,11 +11,12 @@ The trajectory is a **multi-workload** one: :data:`BENCH_SHAPES` defines
 canonical shapes that stress different kernel paths — ``gcc`` (compute-bound
 single thread, the historical default), ``mcf`` (memory-bound single thread:
 the D-side probe and DRAM paths dominate), ``sync`` (PARSEC-like sync-heavy
-multithreaded: barriers, locks and the multi-core event heap dominate) and
-the many-core scale-out shapes ``sync64``/``sync256`` (64 and 256 simulated
-cores: the parked-barrier driver dominates — blocked cores leave the event
-heap entirely).  :func:`run_multi_shape_suite` measures every model on every
-shape.
+multithreaded: barriers, locks and the multi-core event heap dominate),
+``mcf64`` (memory-bound many-core with a shared hot region: D-side run
+commits under coherence traffic) and the many-core scale-out shapes
+``sync64``/``sync256`` (64 and 256 simulated cores: the parked-barrier
+driver dominates — blocked cores leave the event heap entirely).
+:func:`run_multi_shape_suite` measures every model on every shape.
 
 The suite powers three front ends:
 
@@ -95,6 +96,9 @@ class BenchShape:
     kind: str
     benchmark: str
     threads: int = 1
+    #: Manycore only: overrides the profile's shared-data fraction (gives
+    #: SPEC-like profiles, which default to no sharing, coherence traffic).
+    shared_fraction: Optional[float] = None
 
     def build_workload(self, instructions: int, seed: int):
         """Instantiate the shape's deterministic workload.
@@ -117,6 +121,7 @@ class BenchShape:
                 self.threads,
                 instructions_per_thread=max(1, instructions // self.threads),
                 seed=seed,
+                shared_fraction=self.shared_fraction,
             )
         return single_threaded_workload(
             self.benchmark, instructions=instructions, seed=seed
@@ -147,6 +152,15 @@ BENCH_SHAPES: Dict[str, BenchShape] = {
         kind="multithreaded",
         benchmark="fluidanimate",
         threads=4,
+    ),
+    "mcf64": BenchShape(
+        name="mcf64",
+        description="many-core memory-bound (mcf), 64 threads sharing a hot "
+        "region (D-side run commits under coherence traffic)",
+        kind="manycore",
+        benchmark="mcf",
+        threads=64,
+        shared_fraction=0.2,
     ),
     "sync64": BenchShape(
         name="sync64",
@@ -186,6 +200,33 @@ def _resolve_shape(shape: Union[str, BenchShape, None], benchmark: str) -> Bench
         ) from None
 
 
+def _profile_round(
+    registry: SimulatorRegistry,
+    name: str,
+    machine,
+    workload,
+    warmup: int,
+) -> str:
+    """cProfile one extra (untimed) round and return the top-20 cumulative dump.
+
+    The profiled round runs *after* the timed repeats so profiler overhead
+    never contaminates the reported KIPS; the dump goes into the JSON report
+    so the bench artifact carries measured hotspots for the next perf pass.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    simulator = registry.create(name, machine)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulator.run(workload, warmup_instructions=warmup)
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(20)
+    return stream.getvalue()
+
+
 def run_throughput_suite(
     benchmark: str = "gcc",
     instructions: int = 20_000,
@@ -195,6 +236,7 @@ def run_throughput_suite(
     seed: int = 0,
     registry: Optional[SimulatorRegistry] = None,
     shape: Union[str, BenchShape, None] = None,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Time every requested simulator on one seeded workload shape.
 
@@ -203,8 +245,10 @@ def run_throughput_suite(
     fastest round is reported, which filters scheduler noise the way
     pytest-benchmark's ``min`` column does.  ``shape`` selects one of
     :data:`BENCH_SHAPES` (or a custom :class:`BenchShape`); without it the
-    suite measures an ad-hoc single-threaded ``benchmark``.  Returns the
-    JSON-safe report.
+    suite measures an ad-hoc single-threaded ``benchmark``.  With
+    ``profile`` each simulator also runs one extra cProfile round whose
+    top-20 cumulative dump lands in the report.  Returns the JSON-safe
+    report.
     """
     if instructions <= 0:
         raise ValueError("instructions must be positive")
@@ -261,7 +305,14 @@ def run_throughput_suite(
             "issue_wakeups": stats.issue_wakeups,
             "issue_scans_skipped": stats.issue_scans_skipped,
             "ready_bucket_peak": stats.ready_bucket_peak,
+            # D-side run-commit traffic (batched same-line memory-op runs).
+            "data_runs_committed": stats.data_runs_committed,
+            "data_run_aborts": stats.data_run_aborts,
         }
+        if profile:
+            results[name]["profile_top20"] = _profile_round(
+                active_registry, name, machine, workload, warmup
+            )
 
     speedups: Dict[str, float] = {}
     reference = results.get("detailed")
@@ -302,6 +353,7 @@ def run_multi_shape_suite(
     repeats: int = 3,
     seed: int = 0,
     registry: Optional[SimulatorRegistry] = None,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Measure every requested simulator on every requested shape.
 
@@ -320,6 +372,7 @@ def run_multi_shape_suite(
             seed=seed,
             registry=registry,
             shape=shape,
+            profile=profile,
         )
         name = fragment["workload"]["shape"]  # type: ignore[index]
         fragments[name] = {
@@ -457,6 +510,7 @@ def _render_shape(workload: Mapping[str, object], fragment: Mapping[str, object]
                 float(row["aggregate_ipc"]),
                 int(row.get("events_popped", 0)),
                 int(row.get("issue_wakeups", 0)),
+                int(row.get("data_runs_committed", 0)),
                 float(row["best_wall_seconds"]) * 1000.0,
                 float(speedups.get(name, 1.0)) if name != "detailed" else 1.0,
             )
@@ -473,6 +527,7 @@ def _render_shape(workload: Mapping[str, object], fragment: Mapping[str, object]
             "IPC",
             "heap pops",
             "issue wakeups",
+            "data runs",
             "best ms",
             "speedup vs detailed",
         ],
@@ -552,6 +607,12 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         default=0.2,
         help="allowed fraction below the baseline floor (default: 0.2)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile one extra round per (simulator, shape) and embed the "
+        "top-20 cumulative dump in the report (untimed, so KIPS are clean)",
+    )
 
 
 def run_bench_command(args: argparse.Namespace) -> int:
@@ -568,6 +629,7 @@ def run_bench_command(args: argparse.Namespace) -> int:
             simulators=simulators,
             repeats=args.repeats,
             seed=args.seed,
+            profile=getattr(args, "profile", False),
         )
     else:
         shape_arg = args.shape.strip()
@@ -592,6 +654,7 @@ def run_bench_command(args: argparse.Namespace) -> int:
             simulators=simulators,
             repeats=args.repeats,
             seed=args.seed,
+            profile=getattr(args, "profile", False),
         )
     print(render_report(report))
     if args.output:

@@ -93,6 +93,10 @@ class RunResult:
                 "issue_wakeups": self.stats.issue_wakeups,
                 "issue_scans_skipped": self.stats.issue_scans_skipped,
                 "ready_bucket_peak": self.stats.ready_bucket_peak,
+                # D-side run-commit traffic (batched same-line memory-op
+                # runs; zero when the fast path is ruled out or unused).
+                "data_runs_committed": self.stats.data_runs_committed,
+                "data_run_aborts": self.stats.data_run_aborts,
             },
             "stats": self.stats.as_dict(),
         }

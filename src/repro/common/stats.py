@@ -90,6 +90,14 @@ class CoreStats:
     issue_wakeups: int = 0
     issue_scans_skipped: int = 0
     ready_bucket_peak: int = 0
+    # D-side run-commit observability.  Host-side fast-path traffic — how
+    # many same-line memory-op runs were validated once and committed
+    # arithmetically, and how many live commits were rolled back because a
+    # remote coherence action bumped the core's epoch mid-run — not
+    # simulated behavior, so excluded from deterministic comparisons (the
+    # batched and per-access paths produce identical simulated statistics).
+    data_runs_committed: int = 0
+    data_run_aborts: int = 0
     # CPI-stack components (cycles attributed to each penalty class by the
     # interval model; the detailed model leaves them at zero).
     base_cycles: int = 0
@@ -170,6 +178,8 @@ class CoreStats:
             "committed_loads",
             "issue_wakeups",
             "issue_scans_skipped",
+            "data_runs_committed",
+            "data_run_aborts",
             "base_cycles",
             "icache_penalty_cycles",
             "branch_penalty_cycles",
@@ -212,6 +222,8 @@ class CoreStats:
             "issue_wakeups": self.issue_wakeups,
             "issue_scans_skipped": self.issue_scans_skipped,
             "ready_bucket_peak": self.ready_bucket_peak,
+            "data_runs_committed": self.data_runs_committed,
+            "data_run_aborts": self.data_run_aborts,
             "base_cycles": self.base_cycles,
             "icache_penalty_cycles": self.icache_penalty_cycles,
             "branch_penalty_cycles": self.branch_penalty_cycles,
@@ -346,6 +358,20 @@ class SimulationStats:
             (core.ready_bucket_peak for core in self.cores), default=0
         )
 
+    @property
+    def data_runs_committed(self) -> int:
+        """Total D-side same-line runs committed arithmetically, all cores.
+
+        Host-side fast-path observability (excluded from
+        :meth:`deterministic_dict`).
+        """
+        return sum(core.data_runs_committed for core in self.cores)
+
+    @property
+    def data_run_aborts(self) -> int:
+        """Total live run commits rolled back by a mid-run epoch bump."""
+        return sum(core.data_run_aborts for core in self.cores)
+
     def as_dict(self) -> Dict[str, object]:
         """Flatten the run's statistics for reporting."""
         return {
@@ -380,6 +406,11 @@ class SimulationStats:
             core.pop("issue_wakeups", None)
             core.pop("issue_scans_skipped", None)
             core.pop("ready_bucket_peak", None)
+            # Likewise D-side run-commit traffic: the batched and per-access
+            # data paths produce identical simulated statistics but
+            # different commit/abort counts.
+            core.pop("data_runs_committed", None)
+            core.pop("data_run_aborts", None)
         return result
 
     @classmethod

@@ -139,8 +139,10 @@ def manycore_workload(
     seed: int = 0,
     barrier_interval: Optional[int] = None,
     lock_interval: Optional[int] = None,
+    shared_fraction: Optional[float] = None,
+    shared_write_fraction: Optional[float] = None,
 ) -> Workload:
-    """Build a many-core (64–256 thread) variant of a PARSEC-like workload.
+    """Build a many-core (64–256 thread) variant of a benchmark profile.
 
     :func:`multithreaded_workload` keeps the *total* work fixed (the paper's
     Figure-7 strong-scaling experiment), which starves individual threads at
@@ -151,17 +153,27 @@ def manycore_workload(
     becomes synchronization-bound: the regime the parked event driver
     targets.  ``barrier_interval``/``lock_interval`` override the profile's
     sync density for sweep experiments.
+
+    The profile may come from either suite: a SPEC-like profile (e.g.
+    ``mcf``) sharded across many cores models a memory-bound many-core run.
+    SPEC profiles default to no sharing, so pass ``shared_fraction`` (and
+    optionally ``shared_write_fraction``) to give such a run coherence
+    traffic; both override the profile's values when not ``None``.
     """
     if num_threads <= 0:
         raise ValueError("need at least one thread")
     if instructions_per_thread <= 0:
         raise ValueError("per-thread instruction count must be positive")
-    profile = parsec_profile(benchmark)
+    profile = _resolve_profile(benchmark)
     overrides = {}
     if barrier_interval is not None:
         overrides["barrier_interval"] = barrier_interval
     if lock_interval is not None:
         overrides["lock_interval"] = lock_interval
+    if shared_fraction is not None:
+        overrides["shared_fraction"] = shared_fraction
+    if shared_write_fraction is not None:
+        overrides["shared_write_fraction"] = shared_write_fraction
     if overrides:
         profile = replace(profile, **overrides)
     workload = generate_multithreaded_workload(

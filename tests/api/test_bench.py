@@ -98,8 +98,13 @@ def multi_shape_report():
 
 class TestBenchShapes:
     def test_canonical_shapes_cover_all_profiles(self):
-        assert set(BENCH_SHAPES) == {"gcc", "mcf", "sync", "sync64", "sync256"}
+        assert set(BENCH_SHAPES) == {
+            "gcc", "mcf", "sync", "mcf64", "sync64", "sync256"
+        }
         assert BENCH_SHAPES["mcf"].kind == "single"
+        assert BENCH_SHAPES["mcf64"].kind == "manycore"
+        assert BENCH_SHAPES["mcf64"].threads == 64
+        assert BENCH_SHAPES["mcf64"].shared_fraction is not None
         assert BENCH_SHAPES["sync"].kind == "multithreaded"
         assert BENCH_SHAPES["sync"].threads > 1
         assert BENCH_SHAPES["sync64"].kind == "manycore"

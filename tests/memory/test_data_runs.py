@@ -1,0 +1,331 @@
+"""Batched D-side run commits: soundness, the kill-switch, and aborts.
+
+The data-side run-commit fast path (``MemoryHierarchy.data_run_commit`` fed
+by ``TraceBatch.data_run_ends``) is a *performance* refactor of the
+per-access epoch memo: it must not change a single simulated number.  These
+tests pin that contract from four sides:
+
+* the ``use_data_runs`` kill-switch replays every golden workload through
+  the per-access path and must reproduce the pinned golden statistics
+  bit for bit (the fast path's own equality with the golden file is already
+  asserted by ``tests/regression/test_golden_stats.py``);
+* a crafted same-line workload actually *exercises* run commits (the
+  synthetic benchmark generators rarely emit three consecutive same-line
+  memory ops, so without this the machinery could silently never fire) and
+  stays bit-identical to the kill-switch reference across all three models;
+* an adversarial two-core drive lands a remote write in the middle of an
+  owning core's committed run — across ``simulate_interval`` boundaries,
+  the only window where the epoch can move under a run — and must abort to
+  the per-access path with end-state identical to the reference;
+* the commit/abort primitives themselves: validation conditions, exact
+  counter arithmetic, and ``reset_data_memo``'s in-place clearing contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.api import Session
+from repro.branch import create_branch_predictor
+from repro.common.config import default_machine_config
+from repro.common.isa import Instruction, InstructionClass
+from repro.common.stats import CoreStats
+from repro.core.interval_core import IntervalCore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.stream import ThreadTrace, Workload
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "regression")
+)
+from golden_corpus import GOLDEN_PATH, corpus_specs  # noqa: E402
+
+BLOCK = 0x1_0000
+
+with open(GOLDEN_PATH, "r", encoding="utf-8") as _handle:
+    GOLDEN = json.load(_handle)
+
+
+@pytest.fixture
+def no_data_runs(monkeypatch):
+    """Force every consumer onto the per-access D-side reference path."""
+    monkeypatch.setattr(MemoryHierarchy, "use_data_runs", False)
+
+
+def _hierarchy(num_cores: int) -> MemoryHierarchy:
+    return MemoryHierarchy(default_machine_config(num_cores=num_cores))
+
+
+# ---------------------------------------------------------------------------
+# Kill-switch equivalence on the golden corpus
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("key", sorted(dict(corpus_specs())))
+def test_kill_switch_reproduces_golden_stats(key, no_data_runs):
+    """Per-access replay of every golden workload matches the pinned stats.
+
+    ``test_golden_stats.py`` pins the fast path's statistics; this leg pins
+    the slow path's against the same file, so batched and per-access D-side
+    bookkeeping are transitively bit-identical on every golden workload —
+    single-threaded, multi-program, multi-threaded and many-core alike.
+    """
+    session = dict(corpus_specs())[key]
+    assert session.run().stats.deterministic_dict() == GOLDEN[key]
+
+
+# ---------------------------------------------------------------------------
+# Crafted same-line runs: commits fire, and change nothing
+# ---------------------------------------------------------------------------
+
+
+def _same_line_trace(count: int, thread_id: int = 0, base: int = 0x8000) -> ThreadTrace:
+    """ALU/memory mix whose memory ops all live on one L1d line.
+
+    Every odd position is a memory op on the ``base`` line (one store per
+    eight, so runs carry the has-store flag through both the read-only and
+    the Modified-upgrade paths); the whole trace is a single maximal data
+    run spanning the interleaved ALU positions.
+    """
+    instructions = []
+    for seq in range(count):
+        pc = 0x1000 + 4 * (seq % 64)
+        if seq % 2 == 0:
+            instructions.append(
+                Instruction(seq=seq, pc=pc, klass=InstructionClass.INT_ALU, dst_reg=1)
+            )
+        else:
+            klass = (
+                InstructionClass.STORE if seq % 16 == 7 else InstructionClass.LOAD
+            )
+            instructions.append(
+                Instruction(seq=seq, pc=pc, klass=klass, mem_addr=base + 4 * (seq % 8))
+            )
+    return ThreadTrace(instructions, thread_id=thread_id)
+
+
+def _run_crafted(simulator: str):
+    workload = Workload(name="same-line", traces=[_same_line_trace(4000)])
+    return (
+        Session()
+        .simulator(simulator)
+        .workload(workload)
+        .max_cycles(50_000_000)
+        .run()
+    )
+
+
+@pytest.mark.parametrize("simulator", ["interval", "oneipc", "detailed"])
+def test_crafted_runs_commit_and_match_reference(simulator, monkeypatch):
+    fast = _run_crafted(simulator)
+    if simulator == "detailed":
+        # The detailed model never run-commits (OOO load issue interleaves
+        # with in-order store drain); it inlines per-access memo hits only.
+        assert fast.stats.data_runs_committed == 0
+    else:
+        assert fast.stats.data_runs_committed > 0
+    metrics = fast.as_dict()["metrics"]
+    assert metrics["data_runs_committed"] == fast.stats.data_runs_committed
+    assert metrics["data_run_aborts"] == fast.stats.data_run_aborts
+
+    monkeypatch.setattr(MemoryHierarchy, "use_data_runs", False)
+    reference = _run_crafted(simulator)
+    assert reference.stats.data_runs_committed == 0
+    assert (
+        fast.stats.deterministic_dict() == reference.stats.deterministic_dict()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Adversarial mid-run abort: a remote write bumps the epoch under a run
+# ---------------------------------------------------------------------------
+
+
+def _drive_two_cores():
+    """Manually interleave two interval cores in small driver slices.
+
+    Core 0 runs a long single-line data run; core 1 idles briefly, then
+    stores to the same line.  Slicing ``simulate_interval`` at a few cycles
+    guarantees the remote write (and its epoch bump) lands *between* core
+    0's slices while its committed run is still live — the exact window the
+    per-op epoch check and ``data_run_abort`` exist for.
+    """
+    config = default_machine_config(num_cores=2)
+    hierarchy = MemoryHierarchy(config)
+    traces = [_same_line_trace(4000, thread_id=0), _remote_writer_trace()]
+    cores = []
+    for core_id, trace in enumerate(traces):
+        core = IntervalCore(
+            core_id=core_id,
+            config=config,
+            hierarchy=hierarchy,
+            predictor=create_branch_predictor(
+                config.core.branch_predictor,
+                perfect=config.perfect.branch_predictor,
+            ),
+            stats=CoreStats(core_id=core_id),
+            sync=None,
+        )
+        core.bind_thread(trace.cursor(), core_id)
+        cores.append(core)
+    run_until = 0
+    while not all(core.finished for core in cores):
+        run_until += 3
+        assert run_until < 100_000, "two-core drive failed to terminate"
+        for core in cores:
+            if not core.finished:
+                core.simulate_interval(run_until)
+    return cores, hierarchy
+
+
+def _remote_writer_trace() -> ThreadTrace:
+    """A brief thread that stores to core 0's run line mid-flight."""
+    instructions = [
+        Instruction(seq=seq, pc=0x9000 + 4 * seq, klass=InstructionClass.INT_ALU, dst_reg=1)
+        for seq in range(100)
+    ]
+    instructions.append(
+        Instruction(seq=100, pc=0x9190, klass=InstructionClass.STORE, mem_addr=0x8000)
+    )
+    for seq in range(101, 140):
+        instructions.append(
+            Instruction(seq=seq, pc=0x9000 + 4 * seq, klass=InstructionClass.INT_ALU, dst_reg=1)
+        )
+    return ThreadTrace(instructions, thread_id=1)
+
+
+def _snapshot(cores, hierarchy):
+    """Everything observable, minus the host-side run-commit counters."""
+    core_dicts = []
+    for core in cores:
+        stats = core.stats.as_dict()
+        stats.pop("data_runs_committed")
+        stats.pop("data_run_aborts")
+        core_dicts.append(stats)
+    return {
+        "cores": core_dicts,
+        "l1d": [
+            sorted(
+                (index, line.tag, int(line.state))
+                for index, line in cache.resident_lines()
+            )
+            for cache in hierarchy.l1d
+        ],
+        "l1d_stats": [
+            (c.stats.accesses, c.stats.misses, c.stats.evictions, c.stats.writebacks)
+            for c in hierarchy.l1d
+        ],
+        "dtlb": [(t.stats.accesses, t.stats.misses) for t in hierarchy.dtlb],
+        "l2": (hierarchy.l2.stats.accesses, hierarchy.l2.stats.misses),
+        "coherence": (
+            hierarchy.coherence.stats.read_requests,
+            hierarchy.coherence.stats.write_requests,
+            hierarchy.coherence.stats.upgrades,
+            hierarchy.coherence.stats.cache_to_cache_transfers,
+            hierarchy.coherence.stats.invalidations_sent,
+            hierarchy.coherence.stats.writebacks,
+        ),
+        "epochs": list(hierarchy.coherence.epochs),
+        "dram": hierarchy.dram.stats.accesses,
+    }
+
+
+def test_remote_write_aborts_run_bit_identically(monkeypatch):
+    fast_cores, fast_hierarchy = _drive_two_cores()
+    assert fast_cores[0].stats.data_runs_committed >= 1
+    # The remote store invalidated the run line and bumped core 0's epoch
+    # while its run was live: the per-op check must have rolled it back.
+    assert fast_cores[0].stats.data_run_aborts >= 1
+
+    monkeypatch.setattr(MemoryHierarchy, "use_data_runs", False)
+    slow_cores, slow_hierarchy = _drive_two_cores()
+    assert slow_cores[0].stats.data_runs_committed == 0
+    assert slow_cores[0].stats.data_run_aborts == 0
+    assert _snapshot(fast_cores, fast_hierarchy) == _snapshot(
+        slow_cores, slow_hierarchy
+    )
+
+
+# ---------------------------------------------------------------------------
+# The commit/abort primitives and the memo-reset contract
+# ---------------------------------------------------------------------------
+
+
+class TestCommitPrimitive:
+    def _counters(self, hierarchy, core_id=0):
+        return (
+            hierarchy.dtlb[core_id].stats.accesses,
+            hierarchy.l1d[core_id].stats.accesses,
+        )
+
+    def test_commit_requires_memoized_line(self):
+        hierarchy = _hierarchy(1)
+        hierarchy.data_probe(0, BLOCK, False, 0)
+        before = self._counters(hierarchy)
+        assert not hierarchy.data_run_commit(0, BLOCK + 0x1000, False, 5)
+        assert self._counters(hierarchy) == before
+        assert hierarchy.data_run_commit(0, BLOCK + 8, False, 5)
+        dtlb, l1d = before
+        assert self._counters(hierarchy) == (dtlb + 5, l1d + 5)
+
+    def test_store_run_requires_modified_state(self):
+        hierarchy = _hierarchy(1)
+        hierarchy.data_probe(0, BLOCK, False, 0)  # load fill: Exclusive
+        assert not hierarchy.data_run_commit(0, BLOCK, True, 3)
+        hierarchy.data_probe(0, BLOCK, True, 0)  # upgrade to Modified
+        assert hierarchy.data_run_commit(0, BLOCK, True, 3)
+
+    def test_remote_epoch_bump_blocks_commit(self):
+        hierarchy = _hierarchy(2)
+        hierarchy.data_probe(0, BLOCK, False, 0)
+        assert hierarchy.data_run_commit(0, BLOCK, False, 2)
+        hierarchy.data_probe(1, BLOCK, True, 0)  # invalidate, bump epoch 0
+        assert not hierarchy.data_run_commit(0, BLOCK, False, 2)
+
+    def test_abort_rolls_back_exactly(self):
+        hierarchy = _hierarchy(1)
+        hierarchy.data_probe(0, BLOCK, False, 0)
+        before = self._counters(hierarchy)
+        assert hierarchy.data_run_commit(0, BLOCK, False, 7)
+        hierarchy.data_run_abort(0, 7)
+        assert self._counters(hierarchy) == before
+
+    def test_warm_data_run_is_the_same_arithmetic(self):
+        hierarchy = _hierarchy(1)
+        hierarchy.warm_data(0, BLOCK, False)
+        before = self._counters(hierarchy)
+        assert hierarchy.warm_data_run(0, BLOCK, False, 4)
+        dtlb, l1d = before
+        assert self._counters(hierarchy) == (dtlb + 4, l1d + 4)
+
+
+class TestKillSwitchGates:
+    def test_kill_switch_disables_every_view(self, no_data_runs):
+        hierarchy = _hierarchy(1)
+        assert hierarchy.data_run_shift() is None
+        assert hierarchy.data_memo_view(0) is None
+
+    def test_full_model_exposes_views(self):
+        hierarchy = _hierarchy(1)
+        assert hierarchy.data_run_shift() is not None
+        assert hierarchy.data_memo_view(0) is not None
+
+
+def test_reset_data_memo_clears_in_place():
+    """Reset must clear the aliased memo lists, never rebind fresh ones."""
+    hierarchy = _hierarchy(2)
+    view = hierarchy.data_memo_view(0)
+    memo_block, memo_page, memo_epoch, memo_writable = view[0], view[1], view[2], view[3]
+    hierarchy.data_probe(0, BLOCK, True, 0)
+    assert memo_block[0] != -1 and memo_writable[0]
+    hierarchy.reset_data_memo()
+    # The *same* list objects (live aliases held by the overlap scan and the
+    # detailed model) observe the cleared state.
+    assert hierarchy.data_memo_view(0)[0] is memo_block
+    assert memo_block == [-1, -1]
+    assert memo_page == [-1, -1]
+    assert memo_epoch == [-1, -1]
+    assert memo_writable == [False, False]
