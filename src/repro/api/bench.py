@@ -42,6 +42,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..common.config import default_machine_config
 from ..common.stats import Stopwatch
+from ..faults.plan import FaultPlan, FaultSpec
 from ..trace.workloads import (
     manycore_workload,
     multithreaded_workload,
@@ -99,6 +100,9 @@ class BenchShape:
     #: Manycore only: overrides the profile's shared-data fraction (gives
     #: SPEC-like profiles, which default to no sharing, coherence traffic).
     shared_fraction: Optional[float] = None
+    #: Optional deterministic fault schedule armed for every timed round
+    #: (the ``faulty-*`` shapes exercise the fault-hardened kernel paths).
+    faults: Optional[FaultPlan] = None
 
     def build_workload(self, instructions: int, seed: int):
         """Instantiate the shape's deterministic workload.
@@ -178,6 +182,36 @@ BENCH_SHAPES: Dict[str, BenchShape] = {
         benchmark="fluidanimate",
         threads=256,
     ),
+    "faulty-mcf": BenchShape(
+        name="faulty-mcf",
+        description="mcf-like memory-bound under flaky DRAM and periodic "
+        "L1d line drops (fault-hardened D-side fast paths)",
+        kind="single",
+        benchmark="mcf",
+        faults=FaultPlan(
+            seed=7,
+            specs=(
+                FaultSpec(kind="flaky_dram", rate=0.05, max_retries=3, backoff=16),
+                FaultSpec(kind="drop_line", period=500),
+            ),
+        ),
+    ),
+    "faulty-sync": BenchShape(
+        name="faulty-sync",
+        description="sync-heavy 4-thread fluidanimate under a degraded "
+        "interconnect and periodic line corruption (faults on the "
+        "coherence and parked-driver paths)",
+        kind="multithreaded",
+        benchmark="fluidanimate",
+        threads=4,
+        faults=FaultPlan(
+            seed=11,
+            specs=(
+                FaultSpec(kind="degraded_link", multiplier=2.0, loss_rate=0.1),
+                FaultSpec(kind="corrupt_line", period=800),
+            ),
+        ),
+    ),
 }
 
 
@@ -206,6 +240,7 @@ def _profile_round(
     machine,
     workload,
     warmup: int,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> str:
     """cProfile one extra (untimed) round and return the top-20 cumulative dump.
 
@@ -220,7 +255,7 @@ def _profile_round(
     simulator = registry.create(name, machine)
     profiler = cProfile.Profile()
     profiler.enable()
-    simulator.run(workload, warmup_instructions=warmup)
+    simulator.run(workload, warmup_instructions=warmup, fault_plan=fault_plan)
     profiler.disable()
     stream = io.StringIO()
     pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(20)
@@ -237,6 +272,7 @@ def run_throughput_suite(
     registry: Optional[SimulatorRegistry] = None,
     shape: Union[str, BenchShape, None] = None,
     profile: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Dict[str, object]:
     """Time every requested simulator on one seeded workload shape.
 
@@ -259,6 +295,11 @@ def run_throughput_suite(
         warmup_instructions if warmup_instructions is not None else instructions // 2
     )
     bench_shape = _resolve_shape(shape, benchmark)
+    # An explicit fault_plan overrides the shape's canonical schedule (the
+    # --faults flag); otherwise faulty-* shapes bring their own.
+    active_faults = fault_plan if fault_plan is not None else bench_shape.faults
+    if active_faults is not None and active_faults.is_empty:
+        active_faults = None
     workload = bench_shape.build_workload(instructions, seed)
     for trace in workload.traces:
         trace.batch()  # steady state: the batch is per-trace, built once
@@ -273,7 +314,9 @@ def run_throughput_suite(
             simulator = active_registry.create(name, machine)
             stopwatch = Stopwatch()
             stopwatch.start()
-            round_stats = simulator.run(workload, warmup_instructions=warmup)
+            round_stats = simulator.run(
+                workload, warmup_instructions=warmup, fault_plan=active_faults
+            )
             wall = stopwatch.stop()
             if best_wall is None or wall < best_wall:
                 best_wall = wall
@@ -308,10 +351,17 @@ def run_throughput_suite(
             # D-side run-commit traffic (batched same-line memory-op runs).
             "data_runs_committed": stats.data_runs_committed,
             "data_run_aborts": stats.data_run_aborts,
+            # Fault-injection observability (zero on fault-free shapes).
+            "faults_injected": stats.faults_injected,
+            "refetches_forced": stats.refetches_forced,
+            "dram_retries": stats.dram_retries,
+            "retry_cycles": stats.retry_cycles,
+            "runs_aborted_by_fault": stats.runs_aborted_by_fault,
         }
         if profile:
             results[name]["profile_top20"] = _profile_round(
-                active_registry, name, machine, workload, warmup
+                active_registry, name, machine, workload, warmup,
+                fault_plan=active_faults,
             )
 
     speedups: Dict[str, float] = {}
@@ -338,6 +388,9 @@ def run_throughput_suite(
             "instructions": instructions,
             "warmup_instructions": warmup,
             "seed": seed,
+            "faults": (
+                active_faults.describe() if active_faults is not None else "no-faults"
+            ),
         },
         "repeats": repeats,
         "results": results,
@@ -354,6 +407,7 @@ def run_multi_shape_suite(
     seed: int = 0,
     registry: Optional[SimulatorRegistry] = None,
     profile: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Dict[str, object]:
     """Measure every requested simulator on every requested shape.
 
@@ -373,6 +427,7 @@ def run_multi_shape_suite(
             registry=registry,
             shape=shape,
             profile=profile,
+            fault_plan=fault_plan,
         )
         name = fragment["workload"]["shape"]  # type: ignore[index]
         fragments[name] = {
@@ -511,6 +566,7 @@ def _render_shape(workload: Mapping[str, object], fragment: Mapping[str, object]
                 int(row.get("events_popped", 0)),
                 int(row.get("issue_wakeups", 0)),
                 int(row.get("data_runs_committed", 0)),
+                int(row.get("faults_injected", 0)),
                 float(row["best_wall_seconds"]) * 1000.0,
                 float(speedups.get(name, 1.0)) if name != "detailed" else 1.0,
             )
@@ -528,6 +584,7 @@ def _render_shape(workload: Mapping[str, object], fragment: Mapping[str, object]
             "heap pops",
             "issue wakeups",
             "data runs",
+            "faults",
             "best ms",
             "speedup vs detailed",
         ],
@@ -613,13 +670,24 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="cProfile one extra round per (simulator, shape) and embed the "
         "top-20 cumulative dump in the report (untimed, so KIPS are clean)",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help="arm a fault schedule on every measured shape: a FaultPlan JSON "
+        "file path or inline JSON (overrides the faulty-* shapes' canonical "
+        "schedules)",
+    )
 
 
 def run_bench_command(args: argparse.Namespace) -> int:
     """Execute the benchmark suite described by parsed CLI flags."""
+    from .cli import _parse_fault_plan
+
     simulators = [name.strip() for name in args.simulators.split(",") if name.strip()]
     if not simulators:
         raise SystemExit("error: --simulators needs at least one name")
+    fault_plan = _parse_fault_plan(getattr(args, "faults", None))
     if args.benchmark:
         # Ad-hoc single-threaded benchmark: one-shape (legacy) report.
         report = run_throughput_suite(
@@ -630,6 +698,7 @@ def run_bench_command(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             seed=args.seed,
             profile=getattr(args, "profile", False),
+            fault_plan=fault_plan,
         )
     else:
         shape_arg = args.shape.strip()
@@ -655,6 +724,7 @@ def run_bench_command(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             seed=args.seed,
             profile=getattr(args, "profile", False),
+            fault_plan=fault_plan,
         )
     print(render_report(report))
     if args.output:

@@ -162,6 +162,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=600.0, help="socket timeout in seconds"
     )
     submit_parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=None,
+        help="per-attempt connection timeout in seconds (default: --timeout)",
+    )
+    submit_parser.add_argument(
+        "--connect-retries",
+        type=int,
+        default=3,
+        help="extra connection attempts with exponential backoff when the "
+        "server is not accepting yet (default: 3)",
+    )
+    submit_parser.add_argument(
         "--results", metavar="PATH", default=None, help="save the RunResults as JSON"
     )
     submit_parser.add_argument(
@@ -237,6 +250,13 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-cycles", type=int, default=200_000_000, help="simulated-time bound"
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help="deterministic fault schedule: a path to a FaultPlan JSON file, "
+        'or the JSON inline (e.g. \'{"seed": 1, "specs": [...]}\')',
+    )
 
 
 def _parse_options(pairs: Sequence[str]) -> Dict[str, str]:
@@ -248,6 +268,25 @@ def _parse_options(pairs: Sequence[str]) -> Dict[str, str]:
             raise SystemExit(f"error: option {pair!r} is not of the form KEY=VALUE")
         options[key.strip()] = value.strip()
     return options
+
+
+def _parse_fault_plan(value: Optional[str]):
+    """Parse a ``--faults`` argument: inline JSON or a path to a JSON file."""
+    if value is None:
+        return None
+    import json
+
+    from ..faults.plan import FaultPlan
+
+    if value.lstrip().startswith("{"):
+        data = json.loads(value)
+    else:
+        with open(value, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    plan = FaultPlan.from_dict(data)
+    # An empty plan is the same job as no plan: normalize so the spec's
+    # content hash matches the fault-free submission byte for byte.
+    return None if plan.is_empty else plan
 
 
 def _spec_from_args(args: argparse.Namespace, simulator: str, options=None) -> SweepSpec:
@@ -272,6 +311,7 @@ def _spec_from_args(args: argparse.Namespace, simulator: str, options=None) -> S
         options=dict(options or {}),
         warmup_instructions=warmup,
         max_cycles=args.max_cycles,
+        faults=_parse_fault_plan(getattr(args, "faults", None)),
     )
 
 
@@ -416,6 +456,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         host=args.host if args.host is not None else default_host,
         port=args.port if args.port is not None else default_port,
         timeout=args.timeout,
+        connect_timeout=args.connect_timeout,
+        connect_retries=args.connect_retries,
     )
     if args.ping:
         if client.ping():

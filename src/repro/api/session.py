@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..common.config import MachineConfig, default_machine_config
 from ..common.stats import SimulationStats
+from ..faults.plan import FaultPlan
 from ..trace.stream import Workload
 from .registry import DEFAULT_REGISTRY, SimulatorRegistry
 from .results import RunResult
@@ -55,6 +56,7 @@ def run_spec(spec: SweepSpec, registry: Optional[SimulatorRegistry] = None) -> R
         workload,
         max_cycles=spec.max_cycles,
         warmup_instructions=spec.warmup_instructions,
+        fault_plan=spec.faults,
     )
     return RunResult(
         simulator=spec.simulator,
@@ -106,6 +108,7 @@ class Session:
         self._warmup = 0
         self._max_cycles: Optional[int] = None
         self._label = ""
+        self._faults: Optional[FaultPlan] = None
 
     # -- builder setters ---------------------------------------------------------
 
@@ -213,6 +216,18 @@ class Session:
         self._label = text
         return self
 
+    def faults(self, plan: Optional[FaultPlan]) -> "Session":
+        """Arm a deterministic fault schedule (``None`` disarms it).
+
+        The plan travels with the frozen spec, so faulted jobs batch, hash,
+        cache and serve exactly like fault-free ones — an empty plan is
+        normalized to ``None`` so it cannot perturb the spec's content hash.
+        """
+        if plan is not None and plan.is_empty:
+            plan = None
+        self._faults = plan
+        return self
+
     # -- execution ---------------------------------------------------------------
 
     def spec(self) -> SweepSpec:
@@ -238,6 +253,7 @@ class Session:
             warmup_instructions=self._warmup,
             max_cycles=self._max_cycles,
             label=self._label,
+            faults=self._faults,
         )
 
     def run(self) -> RunResult:
@@ -250,6 +266,7 @@ class Session:
                 self._workload_obj,
                 max_cycles=self._max_cycles,
                 warmup_instructions=self._warmup,
+                fault_plan=self._faults,
             )
             return RunResult(
                 simulator=self._simulator,
@@ -269,6 +286,11 @@ class Session:
                     "max_cycles": self._max_cycles,
                     "num_cores": self._machine.num_cores,
                     "label": self._label,
+                    **(
+                        {"faults": self._faults.as_dict()}
+                        if self._faults is not None
+                        else {}
+                    ),
                 },
                 label=self._label,
             )
@@ -283,6 +305,9 @@ class Session:
         host: Optional[str] = None,
         port: Optional[int] = None,
         timeout: Optional[float] = 600.0,
+        connect_timeout: Optional[float] = None,
+        connect_retries: int = 0,
+        retry_backoff: float = 0.1,
     ) -> RunResult:
         """Execute the configured job on a running ``repro serve`` instance.
 
@@ -290,9 +315,21 @@ class Session:
         against its content-addressed result store and executed only if no
         cached result exists — because runs are bit-reproducible from their
         spec, a cache hit returns *exactly* what an execution would.
+
+        ``connect_timeout`` bounds each connection attempt separately from
+        the request ``timeout``; ``connect_retries`` extra attempts are made
+        with exponential backoff (``retry_backoff * 2**attempt`` seconds)
+        when the server is not accepting yet — useful when the client races
+        a server that is still binding its socket.
         """
         return Session.run_batch_remote(
-            [self.spec()], host=host, port=port, timeout=timeout
+            [self.spec()],
+            host=host,
+            port=port,
+            timeout=timeout,
+            connect_timeout=connect_timeout,
+            connect_retries=connect_retries,
+            retry_backoff=retry_backoff,
         )[0]
 
     @staticmethod
@@ -301,13 +338,17 @@ class Session:
         host: Optional[str] = None,
         port: Optional[int] = None,
         timeout: Optional[float] = 600.0,
+        connect_timeout: Optional[float] = None,
+        connect_retries: int = 0,
+        retry_backoff: float = 0.1,
     ) -> List[RunResult]:
         """Execute many jobs on a running ``repro serve`` instance.
 
         The remote counterpart of :meth:`run_batch`: results come back in
         input order and are bit-identical to a local sequential run of the
         same specs.  Repeat submissions are served from the server's result
-        store without executing anything.
+        store without executing anything.  See :meth:`run_remote` for the
+        connection-robustness parameters.
         """
         from ..service.client import ServiceClient
         from ..service.protocol import DEFAULT_HOST, DEFAULT_PORT
@@ -317,6 +358,9 @@ class Session:
             host=host if host is not None else DEFAULT_HOST,
             port=port if port is not None else DEFAULT_PORT,
             timeout=timeout,
+            connect_timeout=connect_timeout,
+            connect_retries=connect_retries,
+            retry_backoff=retry_backoff,
         )
         return client.submit(jobs).results
 

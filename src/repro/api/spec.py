@@ -21,6 +21,7 @@ from ..common.config import (
     machine_from_dict,
     machine_to_dict,
 )
+from ..faults.plan import FaultPlan
 from ..trace.stream import Workload
 from ..trace.workloads import (
     heterogeneous_multiprogram_workload,
@@ -162,6 +163,11 @@ class SweepSpec:
     warmup_instructions: int = 0
     max_cycles: Optional[int] = None
     label: str = ""
+    #: Optional deterministic fault schedule (see repro.faults).  ``None``
+    #: (the default) is OMITTED from to_dict()/describe() so fault-free
+    #: specs keep the exact encoding — and content hash — they had before
+    #: fault injection existed.
+    faults: Optional[FaultPlan] = None
 
     def with_simulator(self, simulator: str, **options: object) -> "SweepSpec":
         """Copy of this spec targeting a different simulator.
@@ -182,7 +188,7 @@ class SweepSpec:
         embedded verbatim in :class:`~repro.api.results.RunResult` parameters
         — serializes identically however the options dict was built.
         """
-        return {
+        result: Dict[str, object] = {
             "simulator": self.simulator,
             "workload": self.workload.as_dict(),
             "options": {key: self.options[key] for key in sorted(self.options)},
@@ -191,6 +197,9 @@ class SweepSpec:
             "num_cores": self.machine.num_cores,
             "label": self.label,
         }
+        if self.faults is not None:
+            result["faults"] = self.faults.as_dict()
+        return result
 
     def to_dict(self) -> Dict[str, object]:
         """Full-fidelity JSON-safe encoding of the job, machine included.
@@ -201,7 +210,7 @@ class SweepSpec:
         over, so every collection with order-insensitive semantics (option
         names) is emitted in sorted order.
         """
-        return {
+        result: Dict[str, object] = {
             "simulator": self.simulator,
             "workload": self.workload.as_dict(),
             "machine": machine_to_dict(self.machine),
@@ -210,6 +219,11 @@ class SweepSpec:
             "max_cycles": self.max_cycles,
             "label": self.label,
         }
+        if self.faults is not None:
+            # Omitted (not null) when unset: fault-free specs must hash
+            # byte-identically to their pre-fault-injection encoding.
+            result["faults"] = self.faults.as_dict()
+        return result
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
@@ -221,6 +235,7 @@ class SweepSpec:
             else default_machine_config()
         )
         max_cycles = data.get("max_cycles")
+        faults_data = data.get("faults")
         return cls(
             simulator=str(data["simulator"]),
             workload=WorkloadSpec.from_dict(dict(data.get("workload", {}))),  # type: ignore[arg-type]
@@ -229,6 +244,11 @@ class SweepSpec:
             warmup_instructions=int(data.get("warmup_instructions", 0)),  # type: ignore[arg-type]
             max_cycles=int(max_cycles) if max_cycles is not None else None,
             label=str(data.get("label", "")),
+            faults=(
+                FaultPlan.from_dict(faults_data)  # type: ignore[arg-type]
+                if faults_data is not None
+                else None
+            ),
         )
 
     def canonical_json(self) -> str:

@@ -98,6 +98,20 @@ class CoreStats:
     # batched and per-access paths produce identical simulated statistics).
     data_runs_committed: int = 0
     data_run_aborts: int = 0
+    # Fault-injection observability (populated only when a fault plan is
+    # armed).  These count injected fault events, the re-fetches they forced,
+    # flaky-DRAM retries and the extra cycles those retries (plus degraded
+    # links) charged, and how many committed D-side runs were rolled back
+    # because a fault hit inside the run window.  They describe the injection
+    # machinery, not comparable simulated behavior — the fast and reference
+    # data paths see the same fault schedule but attribute aborts differently
+    # (the per-access path has no runs to abort) — so like the run-commit
+    # counters they are excluded from deterministic comparisons.
+    faults_injected: int = 0
+    refetches_forced: int = 0
+    dram_retries: int = 0
+    retry_cycles: int = 0
+    runs_aborted_by_fault: int = 0
     # CPI-stack components (cycles attributed to each penalty class by the
     # interval model; the detailed model leaves them at zero).
     base_cycles: int = 0
@@ -180,6 +194,11 @@ class CoreStats:
             "issue_scans_skipped",
             "data_runs_committed",
             "data_run_aborts",
+            "faults_injected",
+            "refetches_forced",
+            "dram_retries",
+            "retry_cycles",
+            "runs_aborted_by_fault",
             "base_cycles",
             "icache_penalty_cycles",
             "branch_penalty_cycles",
@@ -224,6 +243,11 @@ class CoreStats:
             "ready_bucket_peak": self.ready_bucket_peak,
             "data_runs_committed": self.data_runs_committed,
             "data_run_aborts": self.data_run_aborts,
+            "faults_injected": self.faults_injected,
+            "refetches_forced": self.refetches_forced,
+            "dram_retries": self.dram_retries,
+            "retry_cycles": self.retry_cycles,
+            "runs_aborted_by_fault": self.runs_aborted_by_fault,
             "base_cycles": self.base_cycles,
             "icache_penalty_cycles": self.icache_penalty_cycles,
             "branch_penalty_cycles": self.branch_penalty_cycles,
@@ -372,6 +396,35 @@ class SimulationStats:
         """Total live run commits rolled back by a mid-run epoch bump."""
         return sum(core.data_run_aborts for core in self.cores)
 
+    @property
+    def faults_injected(self) -> int:
+        """Total fault events applied by the injector, all cores.
+
+        Nonzero only when a fault plan was armed; host-side observability
+        (excluded from :meth:`deterministic_dict`).
+        """
+        return sum(core.faults_injected for core in self.cores)
+
+    @property
+    def refetches_forced(self) -> int:
+        """Total cache lines dropped/corrupted that forced a re-fetch."""
+        return sum(core.refetches_forced for core in self.cores)
+
+    @property
+    def dram_retries(self) -> int:
+        """Total flaky-DRAM retry rounds charged across all cores."""
+        return sum(core.dram_retries for core in self.cores)
+
+    @property
+    def retry_cycles(self) -> int:
+        """Total extra cycles charged by DRAM retries and degraded links."""
+        return sum(core.retry_cycles for core in self.cores)
+
+    @property
+    def runs_aborted_by_fault(self) -> int:
+        """Total committed D-side runs rolled back by an injected fault."""
+        return sum(core.runs_aborted_by_fault for core in self.cores)
+
     def as_dict(self) -> Dict[str, object]:
         """Flatten the run's statistics for reporting."""
         return {
@@ -411,6 +464,14 @@ class SimulationStats:
             # different commit/abort counts.
             core.pop("data_runs_committed", None)
             core.pop("data_run_aborts", None)
+            # Fault-injection observability: the fast and reference data
+            # paths price the same fault schedule identically but attribute
+            # aborts (and injector bookkeeping) differently.
+            core.pop("faults_injected", None)
+            core.pop("refetches_forced", None)
+            core.pop("dram_retries", None)
+            core.pop("retry_cycles", None)
+            core.pop("runs_aborted_by_fault", None)
         return result
 
     @classmethod

@@ -235,6 +235,7 @@ class IntervalCore(ColumnarKernelCore):
         store_prefix = self._store_prefix
         data_run_commit = hierarchy.data_run_commit
         epochs = hierarchy._l1d_epoch
+        fault_epochs = hierarchy._l1d_fault_epoch
         d_limit = self._data_run_limit
 
         use_ow = self.use_old_window
@@ -482,6 +483,11 @@ class IntervalCore(ColumnarKernelCore):
                                     core_id, self._data_run_left
                                 )
                                 stats.data_run_aborts += 1
+                                if (
+                                    fault_epochs[core_id]
+                                    != self._data_run_fault_epoch
+                                ):
+                                    stats.runs_aborted_by_fault += 1
                                 d_limit = self._data_run_limit = 0
                         elif data_runs is not None:
                             end = data_runs[head]
@@ -504,6 +510,9 @@ class IntervalCore(ColumnarKernelCore):
                                     stats.data_runs_committed += 1
                                     d_limit = self._data_run_limit = end
                                     self._data_run_epoch = epochs[core_id]
+                                    self._data_run_fault_epoch = fault_epochs[
+                                        core_id
+                                    ]
                                     self._data_run_left = n_acc
                                     in_run = True
                         if in_run:

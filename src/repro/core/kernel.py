@@ -123,6 +123,11 @@ def bind_data_runs(core, batch: TraceBatch) -> None:
     core._data_run_limit = 0
     core._data_run_epoch = -1
     core._data_run_left = 0
+    # Fault epoch snapshot at commit time: when an abort fires and the
+    # hierarchy's per-core fault epoch moved past this snapshot, the abort
+    # is attributed to an injected fault (runs_aborted_by_fault) rather
+    # than ordinary remote coherence traffic.
+    core._data_run_fault_epoch = -1
 
 
 class ColumnarKernelCore(CoreModel):
@@ -169,6 +174,7 @@ class ColumnarKernelCore(CoreModel):
         self._data_run_limit = 0
         self._data_run_epoch = -1
         self._data_run_left = 0
+        self._data_run_fault_epoch = -1
 
     # -- CoreModel interface -----------------------------------------------------
 

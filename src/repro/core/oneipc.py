@@ -164,6 +164,7 @@ class OneIPCCore(ColumnarKernelCore):
         data_probe = hierarchy.data_probe
         data_run_commit = hierarchy.data_run_commit
         epochs = hierarchy._l1d_epoch
+        fault_epochs = hierarchy._l1d_fault_epoch
         d_limit = self._data_run_limit
         predictor_access = self.predictor.access
         fe_depth = self.core_config.frontend_pipeline_depth
@@ -286,6 +287,8 @@ class OneIPCCore(ColumnarKernelCore):
                         # pre-committed hits and replay per access.
                         hierarchy.data_run_abort(core_id, self._data_run_left)
                         stats.data_run_aborts += 1
+                        if fault_epochs[core_id] != self._data_run_fault_epoch:
+                            stats.runs_aborted_by_fault += 1
                         d_limit = self._data_run_limit = 0
                 elif data_runs is not None:
                     end = data_runs[pos]
@@ -300,6 +303,7 @@ class OneIPCCore(ColumnarKernelCore):
                             stats.data_runs_committed += 1
                             d_limit = self._data_run_limit = end
                             self._data_run_epoch = epochs[core_id]
+                            self._data_run_fault_epoch = fault_epochs[core_id]
                             self._data_run_left = n_acc
                             in_run = True
                 if in_run:

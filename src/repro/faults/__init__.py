@@ -1,0 +1,20 @@
+"""Deterministic, seeded fault injection for the timing models.
+
+See :mod:`repro.faults.plan` for the serializable fault specifications and
+:mod:`repro.faults.injector` for the runtime that applies them through the
+multicore driver's event heap.
+"""
+
+from .injector import DramFaultState, FaultInjector, LinkFaultState
+from .plan import FAULT_KINDS, POINT_KINDS, WINDOW_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "POINT_KINDS",
+    "WINDOW_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "DramFaultState",
+    "LinkFaultState",
+]

@@ -263,6 +263,29 @@ class SetAssociativeCache:
         self.stats.invalidations_received += 1
         return True
 
+    def drop_line(self, address: int) -> bool:
+        """Remove a line from its set entirely; returns ``True`` if present.
+
+        Fault-injection hook: unlike :meth:`invalidate_line` (which leaves
+        an INVALID husk occupying its way — fine for the coherent L1d, whose
+        fills tolerate invalid same-tag lines) this frees the way, so it is
+        safe on caches filled through :meth:`fill_cold` (the I-side caches
+        and the shared L2, whose invariant forbids invalid same-tag
+        residents).  The LRU order of the surviving lines is preserved and
+        no statistics are touched — the next access simply misses, exactly
+        as if the line had never been fetched.
+        """
+        block = address >> self._offset_bits
+        tag = block // self._num_sets
+        entry_set = self._sets[block % self._num_sets]
+        if entry_set:
+            for position in range(len(entry_set) - 1, -1, -1):
+                line = entry_set[position]
+                if line.tag == tag and line.state:
+                    del entry_set[position]
+                    return True
+        return False
+
     def downgrade_line(self, address: int) -> bool:
         """Downgrade M/E → O/S on a remote read snoop; returns ``True`` if hit."""
         line = self.probe(address)

@@ -102,6 +102,17 @@ class CoherenceController:
         # remote sharers; requests then return a shared, never-mutated result
         # instead of allocating one per miss.
         self._trivial = len(self._caches) <= 1 or protocol == "NONE"
+        # Degraded-interconnect fault state (see
+        # repro.faults.injector.LinkFaultState), installed by the fault
+        # injector after functional warm-up; None in fault-free runs.  The
+        # hierarchy consults it at its cache-to-cache penalty sites, so
+        # in-window coherence transfers pay the loss/latency-multiplied
+        # overhead while the protocol state transitions stay untouched.
+        self.link_faults = None
+
+    def install_link_faults(self, state) -> None:
+        """Arm degraded-link fault windows on the coherence interconnect."""
+        self.link_faults = state
 
     @property
     def num_cores(self) -> int:

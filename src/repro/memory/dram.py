@@ -55,28 +55,43 @@ class MainMemory:
         self._transfer_cycles = max(
             1, round(line_size / config.memory_bus_bytes_per_cycle)
         )
+        # Flaky-channel fault state (see repro.faults.injector.DramFaultState),
+        # installed by the fault injector after functional warm-up; None in
+        # fault-free runs.
+        self._faults = None
 
     @property
     def transfer_cycles(self) -> int:
         """Bus occupancy (cycles) of one cache-line transfer."""
         return self._transfer_cycles
 
-    def access(self, now: int) -> int:
+    def install_faults(self, state) -> None:
+        """Arm flaky-channel fault windows (cleared again by :meth:`reset`)."""
+        self._faults = state
+
+    def access(self, now: int, core_id: int = 0) -> int:
         """Perform one line-sized access starting at cycle ``now``.
 
         Returns the total latency of the access: queueing delay while the
         memory bus is busy with earlier transfers, plus the fixed DRAM access
-        latency, plus the line transfer time.
+        latency, plus the line transfer time — plus, when a flaky-channel
+        fault window is armed and this access draws a fault, the bounded
+        retry latency (exponential backoff, charged to ``core_id``'s
+        requester without extending the bus reservation).
         """
         if now < 0:
             raise ValueError("current time must be non-negative")
         queue_delay = max(0, self._bus_free_at - now)
         start = now + queue_delay
         self._bus_free_at = start + self._transfer_cycles
-        self.stats.accesses += 1
+        access_index = self.stats.accesses
+        self.stats.accesses = access_index + 1
         self.stats.total_queue_delay += queue_delay
         self.stats.busy_cycles += self._transfer_cycles
-        return queue_delay + self.config.dram_latency + self._transfer_cycles
+        total = queue_delay + self.config.dram_latency + self._transfer_cycles
+        if self._faults is not None:
+            total += self._faults.extra_latency(now, access_index, core_id)
+        return total
 
     def peek_latency(self, now: int) -> int:
         """Latency an access at ``now`` would see, without reserving the bus."""
@@ -90,6 +105,7 @@ class MainMemory:
         return min(1.0, self.stats.busy_cycles / elapsed_cycles)
 
     def reset(self) -> None:
-        """Clear bus reservation state and statistics."""
+        """Clear bus reservation state, statistics and any fault windows."""
         self._bus_free_at = 0
         self.stats.reset()
+        self._faults = None

@@ -169,6 +169,14 @@ class MemoryHierarchy:
         # sound under coherence (the I-side commute argument does not
         # transfer to the data side — remote cores mutate L1d state).
         self._l1d_epoch: List[int] = [0] * num_cores
+        # Parallel per-core *fault* epochs: bumped only by the fault
+        # injector (fault_drop_line / fault_corrupt_line below), never by
+        # coherence.  Consumers that commit D-side runs snapshot this next
+        # to the coherence epoch, so a run abort can attribute itself to an
+        # injected fault (runs_aborted_by_fault) versus ordinary remote
+        # coherence traffic.  Cleared in place like the memo lists —
+        # kernels hold live aliases.
+        self._l1d_fault_epoch: List[int] = [0] * num_cores
         self.coherence = CoherenceController(
             self.l1d, memory.coherence_protocol, epochs=self._l1d_epoch
         )
@@ -841,6 +849,11 @@ class MemoryHierarchy:
                         )
                         if snoop.invalidations:
                             upgrade_penalty = _CACHE_TO_CACHE_OVERHEAD
+                            link_faults = self.coherence.link_faults
+                            if link_faults is not None:
+                                upgrade_penalty += link_faults.transfer_extra(
+                                    _CACHE_TO_CACHE_OVERHEAD, now, core_id
+                                )
                     line.state = _ST_MODIFIED
                 elif state == _ST_EXCLUSIVE:
                     line.state = _ST_MODIFIED
@@ -892,7 +905,13 @@ class MemoryHierarchy:
         if supplied_by_cache:
             # Cache-to-cache transfer across the on-chip interconnect.
             result.coherence_miss = True
-            result.penalty += self._l2_hit_latency + _CACHE_TO_CACHE_OVERHEAD
+            transfer_overhead = _CACHE_TO_CACHE_OVERHEAD
+            link_faults = self.coherence.link_faults
+            if link_faults is not None:
+                transfer_overhead += link_faults.transfer_extra(
+                    _CACHE_TO_CACHE_OVERHEAD, now, core_id
+                )
+            result.penalty += self._l2_hit_latency + transfer_overhead
         elif self._perfect_l2:
             result.penalty += self._l2_hit_latency
         else:
@@ -904,12 +923,14 @@ class MemoryHierarchy:
                     result.penalty += self._l2_hit_latency
                 else:
                     result.l2_miss = True
-                    result.penalty += self._l2_hit_latency + self.dram.access(now)
+                    result.penalty += self._l2_hit_latency + self.dram.access(
+                        now, core_id
+                    )
                     l2.fill_cold(line_address, _ST_EXCLUSIVE)
             else:
                 # No L2 (3D-stacked configuration): straight to DRAM.
                 result.l2_miss = True
-                result.penalty += self.dram.access(now)
+                result.penalty += self.dram.access(now, core_id)
 
         if trivial_snoop:
             victim = cache.fill_cold(line_address, install_state)
@@ -1104,6 +1125,79 @@ class MemoryHierarchy:
         """
         return self.data_run_commit(core_id, address, has_store, accesses)
 
+    # -- fault injection -----------------------------------------------------------
+
+    def fault_victim_line(self, core_id: int, level: str) -> Optional[int]:
+        """Line address of ``core_id``'s MRU line at ``level``, or ``None``.
+
+        Adversarial targeting for the fault injector: the most recently
+        accessed line (read off the fetch/data memos, which both the fast
+        and per-access reference paths maintain identically) is exactly the
+        line a live memo or committed run depends on.  Returns ``None``
+        while the memo is cold.
+        """
+        if level == "l1i":
+            block = self._fetch_memo_block[core_id]
+            return None if block < 0 else block << self._l1i_offset_bits
+        block = self._data_memo_block[core_id]
+        return None if block < 0 else block << self._l1d_offset_bits
+
+    def fault_drop_line(self, core_id: int, address: int, level: str = "l1d") -> int:
+        """Drop one line from ``core_id``'s cache at ``level`` (fault event).
+
+        The line is removed from its set entirely
+        (:meth:`~repro.memory.cache.SetAssociativeCache.drop_line`, which
+        keeps the ``fill_cold`` no-invalid-residents invariant intact), and
+        the bookkeeping that made the line's residency observable without a
+        probe is invalidated the same way a remote coherence action would
+        invalidate it: an L1d drop bumps the core's coherence epoch (so the
+        D-side memo and any live committed run abort through the existing
+        :meth:`data_run_abort` path) plus its parallel fault epoch (so the
+        abort is attributed to the fault); an L1i drop resets the core's
+        fetch memo.  Returns the number of lines actually dropped (0 or 1)
+        — the forced-refetch count.
+        """
+        if level == "l1i":
+            dropped = 1 if self.l1i[core_id].drop_line(address) else 0
+            self._fetch_memo_block[core_id] = -1
+            self._fetch_memo_page[core_id] = -1
+            return dropped
+        if level == "l2":
+            if self.l2 is not None and self.l2.drop_line(address):
+                return 1
+            return 0
+        dropped = 1 if self.l1d[core_id].drop_line(address) else 0
+        self._l1d_epoch[core_id] += 1
+        self._l1d_fault_epoch[core_id] += 1
+        return dropped
+
+    def fault_corrupt_line(self, address: int, level: str = "l1d") -> int:
+        """Corrupt a line everywhere it is cached (fault event).
+
+        Corruption is modeled as loss of every copy at the target level
+        *and* the shared L2, so the next access refetches from DRAM.  Every
+        core's epoch (L1d) or fetch memo (L1i) is perturbed unconditionally
+        — the corruption event hits the whole chip's control plane, which
+        is the adversarial case for the batched fast paths.  Returns the
+        number of lines dropped across all caches.
+        """
+        dropped = 0
+        if level == "l1i":
+            for core_id, cache in enumerate(self.l1i):
+                if cache.drop_line(address):
+                    dropped += 1
+                self._fetch_memo_block[core_id] = -1
+                self._fetch_memo_page[core_id] = -1
+        elif level == "l1d":
+            for core_id, cache in enumerate(self.l1d):
+                if cache.drop_line(address):
+                    dropped += 1
+                self._l1d_epoch[core_id] += 1
+                self._l1d_fault_epoch[core_id] += 1
+        if self.l2 is not None and self.l2.drop_line(address):
+            dropped += 1
+        return dropped
+
     # -- shared levels -------------------------------------------------------------
 
     def _fill_from_shared_levels(
@@ -1129,13 +1223,13 @@ class MemoryHierarchy:
                 return self._l2_hit_latency
             # L2 miss: go off-chip, then fill the L2.
             result.l2_miss = True
-            dram_latency = self.dram.access(now)
+            dram_latency = self.dram.access(now, core_id)
             l2.fill_cold(line_address, CoherenceState.EXCLUSIVE)
             return self._l2_hit_latency + dram_latency
 
         # No L2 (Figure-8 3D-stacked configuration): straight to DRAM.
         result.l2_miss = True
-        return self.dram.access(now)
+        return self.dram.access(now, core_id)
 
     # -- bookkeeping ----------------------------------------------------------------
 

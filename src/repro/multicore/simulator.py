@@ -31,6 +31,8 @@ from ..branch import BranchPredictor, create_branch_predictor
 from ..common.config import MachineConfig
 from ..common.isa import InstructionClass, SyncKind
 from ..common.stats import CoreStats, SimulationStats, Stopwatch
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..memory.hierarchy import MemoryHierarchy
 from ..trace.columnar import FLAG_NO_FETCH, KLASS_PLAIN
 from ..trace.stream import TraceCursor, Workload
@@ -181,6 +183,7 @@ class MulticoreSimulator(abc.ABC):
         workload: Workload,
         max_cycles: Optional[int] = None,
         warmup_instructions: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> SimulationStats:
         """Simulate ``workload`` to completion and return run statistics.
 
@@ -200,6 +203,15 @@ class MulticoreSimulator(abc.ABC):
             cold-start bias from sampled/short simulations).  Both the
             interval and the detailed simulator warm the same way, so the
             comparison between them is unaffected.
+        fault_plan:
+            Optional deterministic fault schedule
+            (:class:`~repro.faults.plan.FaultPlan`).  The injector is armed
+            *after* functional warm-up, its point events are applied only at
+            event-heap pop boundaries, and every core's ``run_until`` is
+            clamped to the next pending fault cycle — so the injected fault
+            schedule is a pure function of simulated time, identical across
+            the spin/parked drivers, the fast/reference kernels and all
+            three timing models.
         """
         self._validate_workload(workload)
         hierarchy = MemoryHierarchy(self.config)
@@ -234,6 +246,15 @@ class MulticoreSimulator(abc.ABC):
             cursors, workload.traces, workload.core_assignment
         ):
             cores[core_id].bind_thread(cursor, trace.thread_id)
+
+        # Arm the fault injector only after warm-up so warming is always
+        # fault-free (and dram.reset() at the end of warm-up cannot disarm
+        # the window-fault state it installs).
+        injector = (
+            FaultInjector(fault_plan, hierarchy)
+            if fault_plan is not None and not fault_plan.is_empty
+            else None
+        )
 
         active = [core for core in cores if core.has_thread]
         for core in cores:
@@ -283,6 +304,12 @@ class MulticoreSimulator(abc.ABC):
                     f"simulation exceeded {max_cycles} cycles "
                     f"(possible deadlock in {workload.name!r})"
                 )
+            if injector is not None and core_time >= injector.next_cycle:
+                # Apply point faults due at or before this pop's time.  The
+                # run_until clamp below guarantees no core has simulated past
+                # an unapplied fault, so the mutation happens at a state that
+                # is a pure function of simulated time.
+                injector.apply_due(core_time)
             if event_queue:
                 run_until = event_queue[0][0]
                 if time_cap is not None and run_until > time_cap:
@@ -293,6 +320,11 @@ class MulticoreSimulator(abc.ABC):
                 # Last heap core: run to completion (or the time cap, or the
                 # next sync block/release while other cores sit parked).
                 run_until = time_cap if time_cap is not None else _UNBOUNDED
+            if injector is not None and run_until > injector.next_cycle:
+                # Never simulate past the next pending fault; after
+                # apply_due, next_cycle > core_time, so this keeps
+                # run_until >= core_time + 1.
+                run_until = injector.next_cycle
 
             core.simulate_interval(run_until)
             if core.blocked_on is not None:
@@ -309,13 +341,22 @@ class MulticoreSimulator(abc.ABC):
                 for wake in sync.drain_wakes():
                     self._wake_parked(wake, sync, heappush, event_queue)
         wall_clock = stopwatch.stop()
+        if injector is not None:
+            injector.merge_into(core_stats)
         if sync is not None:
             sync.stats.events_popped = events_popped
             if sync.parked_count:
-                parked = sorted(c.core_id for c in sync.parked_cores())
+                parked = sorted(sync.parked_cores(), key=lambda c: c.core_id)
+                detail = "; ".join(
+                    f"core {c.core_id} parked at cycle {c.park_cycle} on "
+                    f"{'lock' if c.blocked_on[0] else 'barrier'} "
+                    f"{c.blocked_on[1]}"
+                    for c in parked
+                )
                 raise RuntimeError(
-                    f"synchronization deadlock in {workload.name!r}: cores "
-                    f"{parked} still parked after all runnable cores finished"
+                    f"synchronization deadlock in {workload.name!r}: "
+                    f"{len(parked)} core(s) still parked after all runnable "
+                    f"cores finished: {detail}"
                 )
 
         # Finalize per-core cycle counts for cores that never recorded them.

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -67,19 +68,55 @@ class ServiceClient:
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         timeout: Optional[float] = 600.0,
+        connect_timeout: Optional[float] = None,
+        connect_retries: int = 0,
+        retry_backoff: float = 0.1,
     ) -> None:
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        # Connection establishment is bounded separately from request I/O:
+        # a sweep can legitimately stream results for minutes (timeout), but
+        # a TCP connect to a live server takes milliseconds, so callers
+        # racing a server that is still binding its socket retry quickly
+        # instead of hanging for the full request timeout.
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
+        self.connect_retries = connect_retries
+        self.retry_backoff = retry_backoff
 
     def _connect(self) -> socket.socket:
-        try:
-            return socket.create_connection((self.host, self.port), timeout=self.timeout)
-        except OSError as exc:
-            raise ServiceError(
-                f"cannot connect to repro serve at {self.host}:{self.port} ({exc}); "
-                "is the server running?"
-            ) from exc
+        """Open one connection, retrying refusals with exponential backoff.
+
+        Only connection *establishment* failures are retried (connection
+        refused, timeout, DNS hiccup) — once a socket is handed out, request
+        errors propagate to the caller, which can safely resubmit because
+        completed jobs are served from the server's result store.
+        """
+        attempts = self.connect_retries + 1
+        last_error: Optional[OSError] = None
+        for attempt in range(attempts):
+            if attempt > 0:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+            except OSError as exc:
+                last_error = exc
+                continue
+            sock.settimeout(self.timeout)
+            return sock
+        raise ServiceError(
+            f"cannot connect to repro serve at {self.host}:{self.port} "
+            f"after {attempts} attempt(s) ({last_error}); is the server "
+            "running?"
+        ) from last_error
 
     def _roundtrip(self, request: Dict[str, object]) -> Dict[str, object]:
         """Send one request and return its single response message."""

@@ -99,7 +99,8 @@ def multi_shape_report():
 class TestBenchShapes:
     def test_canonical_shapes_cover_all_profiles(self):
         assert set(BENCH_SHAPES) == {
-            "gcc", "mcf", "sync", "mcf64", "sync64", "sync256"
+            "gcc", "mcf", "sync", "mcf64", "sync64", "sync256",
+            "faulty-mcf", "faulty-sync",
         }
         assert BENCH_SHAPES["mcf"].kind == "single"
         assert BENCH_SHAPES["mcf64"].kind == "manycore"
@@ -111,6 +112,13 @@ class TestBenchShapes:
         assert BENCH_SHAPES["sync64"].threads == 64
         assert BENCH_SHAPES["sync256"].kind == "manycore"
         assert BENCH_SHAPES["sync256"].threads == 256
+        # The faulty shapes arm canonical fault schedules; everything else
+        # stays fault-free.
+        assert BENCH_SHAPES["faulty-mcf"].faults is not None
+        assert BENCH_SHAPES["faulty-sync"].faults is not None
+        for name, shape in BENCH_SHAPES.items():
+            if not name.startswith("faulty-"):
+                assert shape.faults is None, name
 
     def test_manycore_shape_divides_total_instructions(self):
         shape = BENCH_SHAPES["sync64"]

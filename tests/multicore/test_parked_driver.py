@@ -234,3 +234,63 @@ def test_manycore_64_threads_runs_and_parks():
     driver = result.stats.driver_stats
     assert driver["cores_parked"] >= 63  # at least one full barrier of waiters
     assert driver["park_cycles_skipped"] > 0
+
+
+# -- deadlock diagnostics --------------------------------------------------------
+
+
+def _deadlock_workload():
+    """Two threads, one genuine deadlock: thread 1 exits holding lock 3.
+
+    Thread 1 acquires the lock immediately and finishes without releasing
+    it; thread 0 computes long enough to guarantee the acquisition ordering,
+    then blocks on the held lock forever.  (A barrier cannot deadlock here:
+    finished threads release barriers by design.)
+    """
+    from repro.common.isa import Instruction, InstructionClass, SyncKind
+    from repro.trace.stream import ThreadTrace, Workload
+
+    def alu(seq, thread_id):
+        return Instruction(
+            seq=seq, pc=0x1000 + 4 * (seq % 64), klass=InstructionClass.INT_ALU,
+            dst_reg=1, thread_id=thread_id,
+        )
+
+    def acquire(seq, thread_id):
+        return Instruction(
+            seq=seq, pc=0x9000, klass=InstructionClass.SYNC,
+            sync=SyncKind.LOCK_ACQUIRE, sync_object=3, thread_id=thread_id,
+        )
+
+    blocked = [alu(seq, 0) for seq in range(300)] + [acquire(300, 0), alu(301, 0)]
+    holder = [acquire(0, 1)] + [alu(seq, 1) for seq in range(1, 40)]
+    return Workload(
+        name="deadlock",
+        traces=[ThreadTrace(blocked, thread_id=0), ThreadTrace(holder, thread_id=1)],
+        kind="multithreaded",
+    )
+
+
+def test_deadlock_error_names_each_parked_core_and_sync_object():
+    """The driver's deadlock error pins who is stuck, where, and on what.
+
+    The exact format is load-bearing for debuggability (users paste it into
+    issues), so this match is deliberately strict: core id, park cycle and
+    the lock/barrier object must all appear.
+    """
+    with pytest.raises(
+        RuntimeError,
+        match=(
+            r"synchronization deadlock in 'deadlock': 1 core\(s\) still "
+            r"parked after all runnable cores finished: "
+            r"core 0 parked at cycle \d+ on lock 3$"
+        ),
+    ):
+        (
+            Session()
+            .cores(2)
+            .simulator("interval")
+            .workload(_deadlock_workload())
+            .max_cycles(1_000_000)
+            .run()
+        )

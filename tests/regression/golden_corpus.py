@@ -51,6 +51,42 @@ def corpus_specs():
             .max_cycles(50_000_000)
         )
 
+    def faulted(simulator, benchmark, threads, total, warmup, plan):
+        # Fault-scenario shapes: the same deterministic pinning applied to
+        # runs with an armed fault schedule — the injected drops/retries are
+        # part of the simulated timing, so they freeze bit for bit too.
+        return (
+            Session()
+            .simulator(simulator)
+            .multithreaded(benchmark, threads=threads, total_instructions=total, seed=0)
+            .warmup(warmup)
+            .max_cycles(50_000_000)
+            .faults(plan)
+        )
+
+    def fault_plans():
+        from repro.faults import FaultPlan, FaultSpec
+
+        drops = FaultPlan(
+            seed=5,
+            specs=(
+                FaultSpec(kind="drop_line", period=150),
+                FaultSpec(kind="corrupt_line", period=600, level="l2"),
+            ),
+        )
+        flaky = FaultPlan(
+            seed=9,
+            specs=(FaultSpec(kind="flaky_dram", rate=0.25, max_retries=3, backoff=16),),
+        )
+        degraded = FaultPlan(
+            seed=13,
+            specs=(
+                FaultSpec(kind="degraded_link", multiplier=2.0, loss_rate=0.25),
+                FaultSpec(kind="drop_line", period=300),
+            ),
+        )
+        return drops, flaky, degraded
+
     def manycore(simulator, benchmark, threads, per_thread):
         # Many-core weak-scaling shape: pins the parked event driver's
         # release-visibility order (which waiter resumes at the release cycle
@@ -98,4 +134,16 @@ def corpus_specs():
         ("interval/fluidanimate/mc-64", manycore("interval", "fluidanimate", 64, 150)),
         ("oneipc/streamcluster/mc-64", manycore("oneipc", "streamcluster", 64, 150)),
         ("detailed/fluidanimate/mc-64", manycore("detailed", "fluidanimate", 64, 60)),
+        # Fault scenarios: the same timing models under pinned deterministic
+        # fault schedules (line drops/corruption, flaky DRAM, a degraded
+        # coherence interconnect).  These freeze the injector's event
+        # placement, the retry pricing, and the fault-hardened fast paths.
+        ("interval/fluidanimate/mt-4/faults-drop",
+         faulted("interval", "fluidanimate", 4, 8000, 1000, fault_plans()[0])),
+        ("oneipc/fluidanimate/mt-2/faults-flaky-dram",
+         faulted("oneipc", "fluidanimate", 2, 8000, 1000, fault_plans()[1])),
+        ("detailed/fluidanimate/mt-2/faults-degraded-link",
+         faulted("detailed", "fluidanimate", 2, 6000, 1000, fault_plans()[2])),
+        ("interval/streamcluster/mt-2/faults-flaky-dram",
+         faulted("interval", "streamcluster", 2, 8000, 1000, fault_plans()[1])),
     ]

@@ -1,0 +1,127 @@
+"""Client connect robustness: bounded retry with exponential backoff.
+
+``repro submit`` frequently races the server it targets — launch scripts
+start ``repro serve`` and the sweep side by side, and the server needs a
+moment to bind and listen.  The client therefore retries *connection
+establishment* (and only that) a bounded number of times with exponential
+backoff.  The late-binding-server test below reproduces the race exactly:
+the port is bound up front (so the OS refuses connections on it rather than
+handing the number to someone else) and ``listen()`` happens later, on a
+timer, like a slow server start-up.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+@pytest.fixture
+def refused_port():
+    """A port guaranteed to refuse connections for the whole test.
+
+    Bound but never listening: the kernel owns the number (no other process
+    can grab it) and answers every connect with ECONNREFUSED.
+    """
+    holder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    holder.bind(("127.0.0.1", 0))
+    try:
+        yield holder.getsockname()[1]
+    finally:
+        holder.close()
+
+
+class _LateBindingServer:
+    """A server that binds immediately but only listens after a delay.
+
+    Binding first makes the test race-free: the client's early attempts hit
+    ECONNREFUSED on *this* port (not some reused port), and the delayed
+    ``listen()`` models a ``repro serve`` that is still starting up.
+    """
+
+    def __init__(self, delay: float) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self.port = self._sock.getsockname()[1]
+        self._delay = delay
+        self._thread = threading.Thread(target=self._serve_one_ping, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _serve_one_ping(self) -> None:
+        time.sleep(self._delay)
+        self._sock.listen(1)
+        conn, _ = self._sock.accept()
+        with conn:
+            stream = conn.makefile("rwb")
+            stream.readline()  # the ping request
+            stream.write(b'{"type":"pong"}\n')
+            stream.flush()
+
+    def close(self) -> None:
+        self._thread.join(timeout=5)
+        self._sock.close()
+
+
+class TestConnectRetry:
+    def test_retries_bridge_a_late_binding_server(self):
+        server = _LateBindingServer(delay=0.3)
+        try:
+            server.start()
+            client = ServiceClient(
+                "127.0.0.1",
+                server.port,
+                connect_timeout=2.0,
+                connect_retries=8,
+                retry_backoff=0.05,
+            )
+            assert client.ping() is True
+        finally:
+            server.close()
+
+    def test_no_retries_fails_after_one_attempt(self, refused_port):
+        client = ServiceClient("127.0.0.1", refused_port, connect_retries=0)
+        with pytest.raises(ServiceError, match=r"after 1 attempt\(s\)"):
+            client.status()
+
+    def test_exhausted_retries_report_attempts_and_cause(self, refused_port):
+        client = ServiceClient(
+            "127.0.0.1", refused_port, connect_retries=2, retry_backoff=0.01
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.status()
+        message = str(excinfo.value)
+        assert "after 3 attempt(s)" in message
+        assert str(refused_port) in message
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_backoff_doubles_between_attempts(self, refused_port, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        client = ServiceClient(
+            "127.0.0.1", refused_port, connect_retries=3, retry_backoff=0.1
+        )
+        with pytest.raises(ServiceError):
+            client.status()
+        assert sleeps == [0.1, 0.2, 0.4]
+
+    def test_ping_swallows_connection_failure(self, refused_port):
+        assert ServiceClient("127.0.0.1", refused_port).ping() is False
+
+
+class TestConstruction:
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceClient(connect_retries=-1)
+        with pytest.raises(ValueError):
+            ServiceClient(retry_backoff=-0.5)
+
+    def test_connect_timeout_defaults_to_request_timeout(self):
+        assert ServiceClient(timeout=30.0).connect_timeout == 30.0
+        assert ServiceClient(timeout=30.0, connect_timeout=1.5).connect_timeout == 1.5
